@@ -1,0 +1,347 @@
+// Benchmark harness backing the paper's quantitative claims. Table and
+// figure numbers refer to the CoNEXT'15 paper; EXPERIMENTS.md maps each
+// to measured values.
+//
+//	Table 2 (per-window computational cost)  → BenchmarkPerWindow/*
+//	Table 1 / Fig. 5 (accuracy & delay)      → cmd/funnelbench (full
+//	  corpus; BenchmarkEvaluateScenario exercises the same path at
+//	  reduced scale so regressions surface in `go test -bench`)
+//	Fig. 6 / Fig. 7 (case studies)           → BenchmarkAssessRedisCase,
+//	  BenchmarkAssessAdCase
+//	Design ablations (DESIGN.md)             → BenchmarkAblation/*
+package funnel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/detect"
+	"repro/internal/eval"
+	"repro/internal/funnel"
+	"repro/internal/linalg"
+	"repro/internal/monitor"
+	"repro/internal/sst"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// benchSeries builds a mixed series with a level shift for per-window
+// scoring benchmarks.
+func benchSeries(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + 10*math.Sin(2*math.Pi*float64(i)/240) + rng.NormFloat64()
+		if i >= n/2 {
+			x[i] += 8
+		}
+	}
+	return x
+}
+
+// BenchmarkPerWindow measures the per-sliding-window cost of every
+// method — the quantity of Table 2 (FUNNEL 401.8 µs, CUSUM 1.846 ms,
+// MRLS 2.852 s on the paper's hardware; the *ordering and ratios* are
+// the reproduction target).
+func BenchmarkPerWindow(b *testing.B) {
+	x := benchSeries(400)
+	cases := []struct {
+		name   string
+		scorer sst.Scorer
+	}{
+		{"FUNNEL-IKA", sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true})},
+		{"RobustSST-fullSVD", sst.NewRobust(sst.Config{Normalize: true, RobustFilter: true})},
+		{"ClassicSST", sst.NewClassic(sst.Config{Normalize: true})},
+		{"CUSUM", baselines.NewCUSUM()},
+		{"MRLS", baselines.NewMRLS()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := c.scorer.Config()
+			t0 := cfg.PastSpan()
+			span := len(x) - cfg.FutureSpan() - t0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.scorer.ScoreAt(x, t0+i%span)
+			}
+		})
+	}
+}
+
+// BenchmarkLinalgKernels isolates the §3.2.3 speedup: a full Jacobi SVD
+// of the 9×9 past Hankel matrix versus the Lanczos(k=5)+QL path that
+// IKA substitutes for it.
+func BenchmarkLinalgKernels(b *testing.B) {
+	x := benchSeries(64)
+	hank := linalg.Hankel(x, 34, 9, 9)
+	start := make([]float64, 9)
+	for i := range start {
+		start[i] = 1 + float64(i)
+	}
+	b.Run("SVD-9x9", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linalg.SVD(hank)
+		}
+	})
+	b.Run("Lanczos5-QL", func(b *testing.B) {
+		b.ReportAllocs()
+		op := linalg.GramOp(hank)
+		for i := 0; i < b.N; i++ {
+			res, err := linalg.Lanczos(op, start, 5, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := linalg.TridiagEig(res.Alpha, res.Beta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchScenario caches a small corpus across benchmarks.
+var benchScenarioCache *workload.Scenario
+
+func benchScenario(b *testing.B) *workload.Scenario {
+	b.Helper()
+	if benchScenarioCache == nil {
+		p := workload.DefaultParams()
+		p.Changes = 4
+		p.HistoryDays = 2
+		sc, err := workload.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchScenarioCache = sc
+	}
+	return benchScenarioCache
+}
+
+// BenchmarkAssessChange measures one full pipeline run for a single
+// software change (impact set → detection → DiD) — the unit of work
+// FUNNEL performs tens of thousands of times per day (§2.3).
+func BenchmarkAssessChange(b *testing.B) {
+	sc := benchScenario(b)
+	a, err := funnel.NewAssessor(sc.Source, sc.Topo, funnel.Config{
+		ServerMetrics:   workload.ServerMetrics(),
+		InstanceMetrics: workload.InstanceMetrics(),
+		HistoryDays:     2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Assess(sc.Cases[i%len(sc.Cases)].Change); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateScenario runs the Table-1 evaluation path at reduced
+// scale (FUNNEL only) so accuracy-harness regressions appear in
+// standard benchmarks; cmd/funnelbench regenerates the full table.
+func BenchmarkEvaluateScenario(b *testing.B) {
+	sc := benchScenario(b)
+	m := &eval.FunnelMethod{Label: "FUNNEL", Config: funnel.Config{HistoryDays: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Run(sc, []eval.Method{m}, eval.Options{NegativeWeight: 86}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssessRedisCase regenerates the Fig. 6 assessment.
+func BenchmarkAssessRedisCase(b *testing.B) {
+	p := workload.DefaultRedisParams()
+	p.UnaffectedPerClassAB = 20
+	rc, err := workload.GenerateRedis(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := funnel.NewAssessor(rc.Source, rc.Topo, funnel.Config{
+		ServerMetrics: []string{workload.MetricNIC},
+		HistoryDays:   p.HistoryDays,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Assess(rc.Change); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssessAdCase regenerates the Fig. 7 assessment.
+func BenchmarkAssessAdCase(b *testing.B) {
+	ac, err := workload.GenerateAdClicks(workload.DefaultAdParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := funnel.NewAssessor(ac.Source, ac.Topo, funnel.Config{
+		InstanceMetrics: []string{workload.MetricEffectiveClicks},
+		HistoryDays:     5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Assess(ac.Change); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation compares the design choices DESIGN.md calls out:
+// the robustness filter, the future-eigen selection, and the
+// normalization anchor.
+func BenchmarkAblation(b *testing.B) {
+	x := benchSeries(400)
+	variants := []struct {
+		name string
+		cfg  sst.Config
+	}{
+		{"deployed", sst.Config{Normalize: true, RobustFilter: true}},
+		{"no-filter", sst.Config{Normalize: true}},
+		{"no-normalize", sst.Config{RobustFilter: true}},
+		{"future-smallest", sst.Config{Normalize: true, RobustFilter: true, FutureSmallest: true}},
+		{"omega5-fast", sst.Config{Omega: 5, Normalize: true, RobustFilter: true}},
+		{"omega15-precise", sst.Config{Omega: 15, Normalize: true, RobustFilter: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			s := sst.NewIKA(v.cfg)
+			cfg := s.Config()
+			t0 := cfg.PastSpan()
+			span := len(x) - cfg.FutureSpan() - t0
+			for i := 0; i < b.N; i++ {
+				s.ScoreAt(x, t0+i%span)
+			}
+		})
+	}
+}
+
+// BenchmarkDiDEstimate measures the determination stage in isolation.
+func BenchmarkDiDEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(level float64) []float64 {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = level + rng.NormFloat64()
+		}
+		return xs
+	}
+	tp, tq, cp, cq := mk(10), mk(14), mk(10), mk(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		np, nq, ncp, ncq := NormalizeDiDGroups(tp, tq, cp, cq)
+		if _, err := EstimateDiD(np, nq, ncp, ncq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImpactSet measures §3.1's impact-set identification.
+func BenchmarkImpactSet(b *testing.B) {
+	tp := topo.NewTopology()
+	servers := make([]string, 64)
+	for i := range servers {
+		servers[i] = "srv-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		tp.Deploy("svc.core", servers[i])
+	}
+	tp.Relate("svc.core", "svc.feed")
+	tp.Relate("svc.feed", "svc.store")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tp.IdentifyImpactSet("svc.core", servers[:16]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorIngest measures the KPI store's append path — the
+// rate at which the substrate absorbs the multi-million-KPI-per-minute
+// stream of §2.2.
+func BenchmarkMonitorIngest(b *testing.B) {
+	start := time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC)
+	store := monitor.NewStore(start, time.Minute)
+	key := topo.KPIKey{Scope: topo.ScopeServer, Entity: "srv-1", Metric: "cpu"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Append(monitor.Measurement{Key: key, T: start.Add(time.Duration(i) * time.Minute), V: float64(i)})
+	}
+}
+
+// BenchmarkWireEncode measures the subscription protocol's measurement
+// framing.
+func BenchmarkWireEncode(b *testing.B) {
+	m := monitor.Measurement{
+		Key: topo.KPIKey{Scope: topo.ScopeInstance, Entity: "search.web@srv-42", Metric: "pv.count"},
+		T:   time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC),
+		V:   3.14,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload, err := monitor.EncodeMeasurement(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := monitor.DecodeMeasurement(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetPush measures the per-sample cost of the online fleet —
+// multiply by ~2.2M KPIs (Table 3) for the deployment's steady-state
+// per-minute budget.
+func BenchmarkFleetPush(b *testing.B) {
+	fleet := detect.NewFleet(nil)
+	rng := rand.New(rand.NewSource(9))
+	const keys = 64
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 50 + rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := topo.KPIKey{Scope: topo.ScopeServer, Entity: benchEntity(i % keys), Metric: "m"}
+		fleet.Push(key, vals[i%len(vals)])
+	}
+}
+
+// benchEntity formats a small entity name without fmt in the hot loop.
+func benchEntity(i int) string {
+	return "srv-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// BenchmarkScoreSeriesParallel measures the history-backfill path.
+// On multi-core hosts the worker fan-out scales near-linearly; the
+// recorded bench_output.txt comes from a single-core container, where
+// the goroutine overhead shows instead.
+func BenchmarkScoreSeriesParallel(b *testing.B) {
+	x := benchSeries(2048)
+	s := sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true})
+	for _, workers := range []int{1, 4, 0} {
+		name := "workers-auto"
+		if workers > 0 {
+			name = "workers-" + string(rune('0'+workers))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sst.ScoreSeriesParallel(s, x, workers)
+			}
+		})
+	}
+}

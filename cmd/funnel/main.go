@@ -1,0 +1,148 @@
+// Command funnel runs the FUNNEL assessment pipeline over a generated
+// scenario and prints, for each software change, the KPI changes
+// attributed to it — the report the operations team receives (step 12
+// of the paper's Fig. 3).
+//
+//	funnel -changes 8 -history 3 -seed 42 [-v] [-json] [-workers 8]
+//	funnel -trace scenario.json [-v] [-json]      # assess an exported trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/changelog"
+	"repro/internal/funnel"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		changes   = flag.Int("changes", 8, "number of software changes to simulate and assess")
+		history   = flag.Int("history", 3, "days of KPI history per series")
+		seed      = flag.Int64("seed", 1, "scenario seed")
+		verbose   = flag.Bool("v", false, "also print KPIs whose changes were excluded or absent")
+		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		workers   = flag.Int("workers", 0, "parallel assessment workers (0 = GOMAXPROCS)")
+		trends    = flag.Bool("trends", false, "run the parallel-trends placebo diagnostics")
+		summarize = flag.Bool("summary", false, "print a one-line-per-change summary instead of full reports")
+		traceFile = flag.String("trace", "", "assess a workload.Trace JSON file instead of generating a scenario")
+	)
+	flag.Parse()
+
+	var err error
+	if *traceFile != "" {
+		err = runTrace(*traceFile, *history, *verbose, *asJSON, *workers, *summarize)
+	} else {
+		err = run(*changes, *history, *seed, *verbose, *asJSON, *workers, *trends, *summarize)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "funnel:", err)
+		os.Exit(1)
+	}
+}
+
+// runTrace assesses every change of an exported trace file.
+func runTrace(path string, history int, verbose, asJSON bool, workers int, summarize bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.LoadTrace(f)
+	if err != nil {
+		return err
+	}
+	source, tp, log, _, err := tr.Build()
+	if err != nil {
+		return err
+	}
+	assessor, err := funnel.NewAssessor(source, tp, funnel.Config{
+		ServerMetrics:   traceMetrics(tr, "server"),
+		InstanceMetrics: traceMetrics(tr, "instance"),
+		HistoryDays:     history,
+	})
+	if err != nil {
+		return err
+	}
+	results := assessor.AssessAll(log.All(), workers)
+	reports := make([]*funnel.Report, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("assessing %s: %w", r.Change.ID, r.Err)
+		}
+		reports = append(reports, r.Report)
+	}
+	return emit(reports, verbose, asJSON, summarize)
+}
+
+// traceMetrics collects the distinct metric names of one scope from a
+// trace.
+func traceMetrics(tr *workload.Trace, scope string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range tr.Series {
+		if s.Scope == scope && !seen[s.Metric] {
+			seen[s.Metric] = true
+			out = append(out, s.Metric)
+		}
+	}
+	return out
+}
+
+// emit renders reports in the selected format.
+func emit(reports []*funnel.Report, verbose, asJSON, summarize bool) error {
+	switch {
+	case asJSON:
+		return report.WriteJSON(os.Stdout, reports)
+	case summarize:
+		fmt.Print(report.Summary(reports))
+		return nil
+	default:
+		for _, rep := range reports {
+			if err := report.WriteText(os.Stdout, rep, verbose); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+}
+
+func run(changes, history int, seed int64, verbose, asJSON bool, workers int, trends, summarize bool) error {
+	p := workload.DefaultParams()
+	p.Changes = changes
+	p.HistoryDays = history
+	p.Seed = seed
+	sc, err := workload.Generate(p)
+	if err != nil {
+		return err
+	}
+	assessor, err := funnel.NewAssessor(sc.Source, sc.Topo, funnel.Config{
+		ServerMetrics:        workload.ServerMetrics(),
+		InstanceMetrics:      workload.InstanceMetrics(),
+		HistoryDays:          history,
+		VerifyParallelTrends: trends,
+	})
+	if err != nil {
+		return err
+	}
+
+	batch := make([]changelog.Change, 0, len(sc.Cases))
+	for _, cs := range sc.Cases {
+		batch = append(batch, cs.Change)
+	}
+	results := assessor.AssessAll(batch, workers)
+
+	reports := make([]*funnel.Report, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("assessing %s: %w", r.Change.ID, r.Err)
+		}
+		reports = append(reports, r.Report)
+	}
+
+	return emit(reports, verbose, asJSON, summarize)
+}

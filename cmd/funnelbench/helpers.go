@@ -1,0 +1,32 @@
+package main
+
+import (
+	"repro/internal/detect"
+	"repro/internal/sst"
+)
+
+// calibrate wraps detect.Calibrate with the evaluation's standard
+// quantile and margin.
+func calibrate(scorer sst.Scorer, clean [][]float64) (float64, error) {
+	return detect.Calibrate(scorer, clean, 0.999, 1.1)
+}
+
+// firstDetection runs the persistence-rule detector and returns the
+// wall-clock delay of the first detection relative to trueStart
+// (or the raw availability bin when trueStart < 0, used for
+// false-positive counting on clean series).
+func firstDetection(scorer sst.Scorer, threshold float64, xs []float64, trueStart int) (int, bool) {
+	det := detect.New(scorer, threshold)
+	d, ok := det.First(xs)
+	if !ok {
+		return 0, false
+	}
+	if trueStart < 0 {
+		return d.AvailableAt, true
+	}
+	delay := d.AvailableAt - trueStart
+	if delay < 0 {
+		delay = 0
+	}
+	return delay, true
+}

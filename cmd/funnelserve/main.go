@@ -1,0 +1,114 @@
+// Command funnelserve runs FUNNEL as a network service (§5's deployed
+// prototype): agents publish 1-minute KPI measurements to the ingest
+// port, the operations team registers software changes over the admin
+// port (one JSON object per line), other systems may subscribe to the
+// measurement stream, and finished assessments print to stdout as each
+// change's observation window completes.
+//
+//	funnelserve -ingest :7101 -subscribe :7102 -admin :7103 \
+//	    -server-metrics mem.util,cpu.ctxswitch \
+//	    -instance-metrics pv.count,rt.delay -history 7
+//
+// Register a change:
+//
+//	echo '{"id":"chg-1","type":"upgrade","service":"kv.cache",
+//	       "servers":["srv-1"],"at":"2015-12-03T12:00:00Z"}' | nc host 7103
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/funnel"
+	"repro/internal/monitor"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		ingest    = flag.String("ingest", "127.0.0.1:7101", "measurement ingest listen address")
+		subscribe = flag.String("subscribe", "127.0.0.1:7102", "subscription push listen address (empty = off)")
+		admin     = flag.String("admin", "127.0.0.1:7103", "change-registration listen address")
+		history   = flag.Int("history", 7, "days of history kept for the seasonal DiD baseline")
+		serverM   = flag.String("server-metrics", "mem.util,cpu.ctxswitch", "comma-separated server metrics")
+		instM     = flag.String("instance-metrics", "", "comma-separated instance metrics")
+		epoch     = flag.String("epoch", "", "store epoch (RFC3339; default now − history − 1 day)")
+		asJSON    = flag.Bool("json", false, "emit reports as JSON instead of text")
+	)
+	flag.Parse()
+
+	start := time.Now().UTC().Truncate(time.Minute).AddDate(0, 0, -*history-1)
+	if *epoch != "" {
+		t, err := time.Parse(time.RFC3339, *epoch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "funnelserve: bad -epoch:", err)
+			os.Exit(2)
+		}
+		start = t
+	}
+	store := monitor.NewStore(start, time.Minute)
+
+	d, err := daemon.Start(daemon.Config{
+		Store: store,
+		Pipeline: funnel.Config{
+			ServerMetrics:   splitList(*serverM),
+			InstanceMetrics: splitList(*instM),
+			HistoryDays:     *history,
+		},
+		IngestAddr:    *ingest,
+		SubscribeAddr: *subscribe,
+		AdminAddr:     *admin,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "funnelserve:", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+
+	fmt.Printf("funnelserve: ingest=%v subscribe=%v admin=%v epoch=%s history=%dd\n",
+		d.IngestAddr(), d.SubscribeAddr(), d.AdminAddr(), start.Format(time.RFC3339), *history)
+
+	// Reports stream until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for {
+		select {
+		case rep, ok := <-d.Reports():
+			if !ok {
+				return
+			}
+			if *asJSON {
+				if err := report.WriteJSON(os.Stdout, []*funnel.Report{rep}); err != nil {
+					fmt.Fprintln(os.Stderr, "funnelserve:", err)
+				}
+				continue
+			}
+			if err := report.WriteText(os.Stdout, rep, false); err != nil {
+				fmt.Fprintln(os.Stderr, "funnelserve:", err)
+			}
+		case <-sig:
+			fmt.Println("funnelserve: shutting down")
+			return
+		}
+	}
+}
+
+// splitList parses a comma-separated flag into a clean slice.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Command kpigen emits synthetic KPI scenarios as JSON (the
+// workload.Trace wire format) for use outside this repository —
+// plotting, cross-language comparisons, regression fixtures. Traces
+// round-trip: workload.LoadTrace + Trace.Build reconstruct an
+// assessable source/topology/changelog from the file.
+//
+//	kpigen -changes 4 -history 2 -seed 1 -o scenario.json
+//	kpigen -case redis -o redis.json
+//	kpigen -case adclicks -o ads.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("case", "scenario", `what to emit: "scenario", "redis" or "adclicks"`)
+		changes = flag.Int("changes", 4, "scenario: number of software changes")
+		history = flag.Int("history", 2, "days of history per series")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "-", `output file ("-" = stdout)`)
+	)
+	flag.Parse()
+
+	trace, err := build(*kind, *changes, *history, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kpigen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kpigen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, trace); err != nil {
+		fmt.Fprintln(os.Stderr, "kpigen:", err)
+		os.Exit(1)
+	}
+}
+
+// build assembles the requested trace.
+func build(kind string, changes, history int, seed int64) (*workload.Trace, error) {
+	switch kind {
+	case "scenario":
+		p := workload.DefaultParams()
+		p.Changes = changes
+		p.HistoryDays = history
+		p.Seed = seed
+		sc, err := workload.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ExportTrace(sc), nil
+	case "redis":
+		rc, err := workload.GenerateRedis(workload.RedisParams{
+			Seed: seed, ClassA: 8, ClassB: 8, HistoryDays: history,
+			ShiftFraction: 0.4, ChangeMinuteOfDay: 700, UnaffectedPerClassAB: 102,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return caseTrace("redis", rc.Start, rc.Change, rc.Source), nil
+	case "adclicks":
+		ac, err := workload.GenerateAdClicks(workload.AdParams{
+			Seed: seed, HistoryDays: history + 4, ChangeMinuteOfDay: 600,
+			DropFraction: 0.3, FixAfterMinutes: 90, Instances: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return caseTrace("adclicks", ac.Start, ac.Change, ac.Source), nil
+	default:
+		return nil, fmt.Errorf("unknown case %q", kind)
+	}
+}
+
+// caseTrace wraps one case study's change and source into a trace.
+func caseTrace(kind string, start time.Time, change changelog.Change, src *workload.MapSource) *workload.Trace {
+	t := &workload.Trace{Kind: kind, Start: start, StepSec: 60}
+	t.Changes = append(t.Changes, workload.TraceChange{
+		ID: change.ID, Type: change.Type.String(), Service: change.Service,
+		Servers: change.Servers, At: change.At,
+	})
+	for _, key := range src.Keys() {
+		s, _ := src.Series(key)
+		t.Series = append(t.Series, workload.TraceSeries{
+			Scope: key.Scope.String(), Entity: key.Entity, Metric: key.Metric, Values: s.Values,
+		})
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+// Adclicks: reproduce the paper's Fig. 7 incident. An advertising
+// system upgrade silently breaks the anti-cheating check for iPhone
+// browsers; every iPhone click is misclassified as a cheat and the
+// effective-click count — a strongly seasonal KPI — drops sharply. The
+// upgrade went to all servers at once (Full Launching), so there is no
+// concurrent control group: FUNNEL falls back to the same-time-of-day
+// historical DiD (§3.2.5) and still attributes the drop within minutes,
+// versus the 90 minutes the operations team needed manually.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	funnel "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	ac, err := funnel.GenerateAdClicksCase(workload.DefaultAdParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	assessor, err := funnel.NewAssessor(ac.Source, ac.Topo, funnel.Config{
+		InstanceMetrics: []string{workload.MetricEffectiveClicks},
+		HistoryDays:     5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := assessor.Assess(ac.Change)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("upgrade %q on %d servers (full launch — no concurrent control)\n",
+		ac.Change.ID, len(ac.Change.Servers))
+	for _, a := range report.Flagged() {
+		if a.Key.Scope != funnel.ScopeService {
+			continue
+		}
+		delay, _ := funnel.DetectionDelay(a, ac.ChangeBin)
+		fmt.Printf("service KPI %q: %s, α=%+.1f, control=%s\n",
+			a.Key.Metric, a.Detection.Kind, a.Alpha, a.ControlKind)
+		fmt.Printf("FUNNEL delay: %d min — the operations team needed %d min manually (paper: 10 vs 90)\n",
+			delay, workload.DefaultAdParams().FixAfterMinutes)
+	}
+
+	// The KPI is genuinely seasonal — the hard part of the case.
+	key := funnel.KPIKey{Scope: funnel.ScopeService, Entity: ac.Service, Metric: workload.MetricEffectiveClicks}
+	s, _ := ac.Source.Series(key)
+	fmt.Printf("KPI character: %v (classifier over %d days of history)\n",
+		funnel.ClassifyKPI(s.Values), workload.DefaultAdParams().HistoryDays)
+}

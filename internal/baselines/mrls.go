@@ -1,0 +1,270 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/sst"
+	"repro/internal/stats"
+)
+
+// MRLS is the PRISM-style Multiscale Robust Local Subspace scorer. At
+// every dyadic time scale it forms a local trajectory matrix from the
+// sliding window, extracts a *robust* low-rank subspace by iteratively
+// reweighted SVD (an IRLS approximation of the l1-norm subspace the
+// paper attributes to [17]), and scores the window's most recent lag
+// vector by its residual distance from that subspace relative to the
+// robust residual level of the historical lag vectors. The final score
+// is the maximum across scales.
+//
+// Two structural properties matter for the reproduction:
+//
+//   - Cost: each point requires Scales × Iterations full SVDs, which is
+//     why Table 2 reports MRLS at 2.852 s per window against FUNNEL's
+//     401.8 µs. The iteration is inherent to the l1 subspace and cannot
+//     be elided (§1: "it is hardly possible to reduce the computation
+//     overhead of MRLS").
+//   - Behavior: the residual test reacts to *any* departure from the
+//     local subspace, including one-point spikes, which is why Table 1
+//     shows MRLS collapsing in precision/TNR on variable KPIs ("MRLS
+//     was sensitive to spikes, and it was hardly feasible to modify
+//     MRLS to detect level shifts or ramp up/downs only").
+type MRLS struct {
+	// Window is the sliding input window W; the paper's evaluation uses
+	// W = 32 for MRLS.
+	Window int
+	// Scales lists the dyadic downsampling factors (default 1, 2, 4).
+	Scales []int
+	// Rank is the subspace dimension at each scale (default 3).
+	Rank int
+	// Iterations caps the IRLS reweighting rounds, each costing one
+	// SVD (default 100). The loop runs until the weights converge —
+	// the l1 subspace is defined by a fixed point, which is exactly
+	// why the paper rules MRLS out at scale ("the iteration of SVD is
+	// essential to MRLS for improving robustness, and it is hardly
+	// possible to reduce the computation overhead", §1).
+	Iterations int
+	// Tolerance is the relative weight-change threshold that ends the
+	// IRLS loop (default 1e-7).
+	Tolerance float64
+	// Epsilon regularizes the IRLS weights 1/max(residual, Epsilon)
+	// (default 1e-6).
+	Epsilon float64
+}
+
+// NewMRLS returns an MRLS scorer with the paper's evaluation window
+// (W = 32) and the default multiscale/IRLS parameters.
+func NewMRLS() *MRLS {
+	return &MRLS{Window: 32, Scales: []int{1, 2, 4}, Rank: 3, Iterations: 100, Tolerance: 1e-7, Epsilon: 1e-6}
+}
+
+// Config exposes the scorer geometry through the shared sst.Config
+// shape: like CUSUM, MRLS scores the last sample of a purely historical
+// window.
+func (m *MRLS) Config() sst.Config {
+	w := m.Window
+	if w < 16 {
+		w = 16
+	}
+	return sst.Config{Omega: 1, Delta: w, Gamma: 1, Eta: 1, K: 1}
+}
+
+// ScoreAt returns the MRLS score of x at index t using the window
+// x[t−W+1 .. t]. Scores are ≥ 0; the detection pipeline thresholds them
+// like any other scorer. It panics when the window does not fit.
+func (m *MRLS) ScoreAt(x []float64, t int) float64 {
+	w := m.Window
+	if w < 16 {
+		w = 16
+	}
+	lo := t - w + 1
+	if lo < 0 || t >= len(x) {
+		panic(fmt.Sprintf("baselines: mrls window [%d,%d] out of series length %d", lo, t, len(x)))
+	}
+	window := x[lo : t+1]
+	scales := m.Scales
+	if len(scales) == 0 {
+		scales = []int{1, 2, 4}
+	}
+
+	var best float64
+	for _, s := range scales {
+		if s < 1 {
+			continue
+		}
+		ds := downsample(window, s)
+		if v := m.scoreScale(ds); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// scoreScale runs the robust-subspace residual test on one
+// (downsampled) window: the local subspace is fitted on the historical
+// lag vectors only (everything but the newest), and the newest lag
+// vector is scored by its residual relative to the robust residual
+// level of that history.
+func (m *MRLS) scoreScale(window []float64) float64 {
+	// Lag-vector geometry: square-ish trajectory matrix.
+	omega := len(window) / 4
+	if omega < 2 {
+		omega = 2
+	}
+	delta := len(window) - omega + 1
+	if delta < m.Rank+2 {
+		return 0
+	}
+	norm := stats.NormalizeRobust(window)
+	traj := linalg.Hankel(norm, len(norm), omega, delta)
+
+	// Historical trajectory: all lag vectors except the newest.
+	hist := linalg.NewMatrix(omega, delta-1)
+	for r := 0; r < omega; r++ {
+		copy(hist.Data[r*(delta-1):(r+1)*(delta-1)], traj.Data[r*delta:r*delta+delta-1])
+	}
+	basis := m.robustSubspace(hist)
+	if basis == nil {
+		return 0
+	}
+
+	// Residual of every lag vector against the history subspace.
+	res := make([]float64, delta)
+	col := make([]float64, omega)
+	proj := make([]float64, omega)
+	for c := 0; c < delta; c++ {
+		for r := 0; r < omega; r++ {
+			col[r] = traj.At(r, c)
+		}
+		copy(proj, col)
+		for j := 0; j < basis.Cols; j++ {
+			bj := basis.Col(j)
+			linalg.Axpy(-linalg.Dot(bj, col), bj, proj)
+		}
+		res[c] = linalg.Norm2(proj)
+	}
+	// Score the newest lag vector by its residual relative to the
+	// typical history residual. A ratio (rather than a studentized
+	// difference) keeps the noise tail short — pure noise hovers around
+	// 1 — while spikes and shifts, whose residual is many times the
+	// history level, stand far out. The floor is in normalized-window
+	// units (the window was scaled to unit MAD above) and prevents
+	// numerically-tiny residuals on very smooth windows from turning
+	// into alarms.
+	med := stats.Median(res[:delta-1])
+	return res[delta-1] / (med + 0.1)
+}
+
+// robustSubspace computes the rank-r IRLS-weighted subspace of the
+// trajectory matrix: alternately fit an SVD subspace and downweight
+// columns by the inverse of their residual, approximating the l1-norm
+// subspace. Returns the omega×r orthonormal basis, or nil when the
+// matrix is degenerate.
+func (m *MRLS) robustSubspace(traj *linalg.Matrix) *linalg.Matrix {
+	omega, delta := traj.Rows, traj.Cols
+	rank := m.Rank
+	if rank < 1 {
+		rank = 3
+	}
+	if rank > omega {
+		rank = omega
+	}
+	iters := m.Iterations
+	if iters < 1 {
+		iters = 100
+	}
+	tol := m.Tolerance
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	eps := m.Epsilon
+	if eps <= 0 {
+		eps = 1e-6
+	}
+
+	weights := make([]float64, delta)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weighted := linalg.NewMatrix(omega, delta)
+	col := make([]float64, omega)
+	proj := make([]float64, omega)
+	var basis *linalg.Matrix
+
+	for it := 0; it < iters; it++ {
+		// Column-weighted copy of the trajectory matrix.
+		for c := 0; c < delta; c++ {
+			wc := weights[c]
+			for r := 0; r < omega; r++ {
+				weighted.Data[r*delta+c] = traj.Data[r*delta+c] * wc
+			}
+		}
+		svd := linalg.SVD(weighted)
+		if svd.S[0] == 0 {
+			return nil
+		}
+		basis = linalg.NewMatrix(omega, rank)
+		for j := 0; j < rank; j++ {
+			for r := 0; r < omega; r++ {
+				basis.Data[r*rank+j] = svd.U.Data[r*svd.U.Cols+j]
+			}
+		}
+		// Reweight columns by inverse residual (l1 IRLS step). The
+		// residuals are floored at a fraction of their median so that a
+		// column lying exactly in the subspace cannot grab unbounded
+		// weight and collapse the fit onto itself.
+		resids := make([]float64, delta)
+		for c := 0; c < delta; c++ {
+			for r := 0; r < omega; r++ {
+				col[r] = traj.At(r, c)
+			}
+			copy(proj, col)
+			for j := 0; j < rank; j++ {
+				bj := basis.Col(j)
+				linalg.Axpy(-linalg.Dot(bj, col), bj, proj)
+			}
+			resids[c] = linalg.Norm2(proj)
+		}
+		floor := math.Max(eps, 0.1*stats.Median(resids))
+		var drift float64
+		newW := make([]float64, delta)
+		for c := 0; c < delta; c++ {
+			newW[c] = 1 / math.Max(resids[c], floor)
+		}
+		// Normalize weights so the scale of the weighted matrix is
+		// stable across iterations, then test the fixed point.
+		wmax := stats.Max(newW)
+		for c := range newW {
+			newW[c] /= wmax
+			if d := math.Abs(newW[c] - weights[c]); d > drift {
+				drift = d
+			}
+			weights[c] = newW[c]
+		}
+		if drift < tol {
+			break
+		}
+	}
+	return basis
+}
+
+// downsample averages consecutive groups of factor samples; a trailing
+// partial group is averaged too.
+func downsample(x []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	n := (len(x) + factor - 1) / factor
+	out := make([]float64, 0, n)
+	for i := 0; i < len(x); i += factor {
+		j := i + factor
+		if j > len(x) {
+			j = len(x)
+		}
+		out = append(out, stats.Mean(x[i:j]))
+	}
+	return out
+}

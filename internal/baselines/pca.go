@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// PCA is the subspace anomaly detector of Lakhina et al. (SIGCOMM
+// 2005), cited by the paper's related work (§6) as the classic
+// multivariate approach: a principal subspace is fitted to a training
+// window of many KPIs observed together, and each time point is scored
+// by its squared prediction error (the Q-statistic) — the energy of its
+// cross-KPI vector outside the normal subspace.
+//
+// PCA is genuinely multivariate — it sees correlations FUNNEL's
+// per-KPI scorers do not — but it detects *anomalous minutes*, not
+// which KPI changed or why, and it needs all KPIs of a group observed
+// together. It is provided as an additional comparison point and is
+// not part of the FUNNEL pipeline.
+type PCA struct {
+	// Rank is the normal-subspace dimension (default 3, matching η).
+	Rank int
+	// Train is the number of leading samples that fit the subspace
+	// (default 60).
+	Train int
+}
+
+// NewPCA returns the default detector.
+func NewPCA() *PCA { return &PCA{Rank: 3, Train: 60} }
+
+// ScoreMatrix scores time index t of a KPI matrix: series[k][i] is KPI
+// k at bin i; all rows must share a length > Train, and Train ≤ t.
+// Rows are robustly normalized, the subspace is fitted on bins
+// [t−Train, t), and the score is the Q-statistic of bin t relative to
+// the training residual level.
+func (p *PCA) ScoreMatrix(series [][]float64, t int) (float64, error) {
+	rank := p.Rank
+	if rank < 1 {
+		rank = 3
+	}
+	train := p.Train
+	if train < 8 {
+		train = 60
+	}
+	k := len(series)
+	if k == 0 {
+		return 0, fmt.Errorf("baselines: pca needs at least one KPI")
+	}
+	if rank > k {
+		rank = k
+	}
+	n := len(series[0])
+	for _, row := range series[1:] {
+		if len(row) != n {
+			return 0, fmt.Errorf("baselines: pca requires equal-length KPI rows")
+		}
+	}
+	if t < train || t >= n {
+		return 0, fmt.Errorf("baselines: pca index %d outside [train=%d, n=%d)", t, train, n)
+	}
+
+	// Robust per-KPI normalization over the training window, applied
+	// to the scored bin too.
+	norm := make([][]float64, k)
+	scored := make([]float64, k)
+	for r, row := range series {
+		window := row[t-train : t]
+		med, mad := stats.MedianMAD(window)
+		scale := mad * stats.MADScale
+		if scale == 0 {
+			scale = stats.Stddev(window)
+		}
+		if floor := 1e-3 * math.Max(math.Abs(med), 1); scale < floor {
+			scale = floor
+		}
+		nr := make([]float64, train)
+		for i, v := range window {
+			nr[i] = (v - med) / scale
+		}
+		norm[r] = nr
+		scored[r] = (row[t] - med) / scale
+	}
+
+	// Data matrix: train × k, one cross-KPI vector per bin.
+	x := linalg.NewMatrix(train, k)
+	for i := 0; i < train; i++ {
+		for r := 0; r < k; r++ {
+			x.Set(i, r, norm[r][i])
+		}
+	}
+	svd := linalg.SVD(x)
+	// Principal directions: the top-rank right singular vectors.
+	basis := make([][]float64, 0, rank)
+	for j := 0; j < rank && j < len(svd.S); j++ {
+		if svd.S[j] == 0 {
+			break
+		}
+		basis = append(basis, svd.V.Col(j))
+	}
+
+	spe := func(v []float64) float64 {
+		res := make([]float64, k)
+		copy(res, v)
+		for _, b := range basis {
+			linalg.Axpy(-linalg.Dot(b, v), b, res)
+		}
+		return linalg.Dot(res, res)
+	}
+
+	// Training residual level for studentization.
+	trainSPE := make([]float64, train)
+	row := make([]float64, k)
+	for i := 0; i < train; i++ {
+		for r := 0; r < k; r++ {
+			row[r] = norm[r][i]
+		}
+		trainSPE[i] = spe(row)
+	}
+	med := stats.Median(trainSPE)
+	return spe(scored) / (med + 1e-6), nil
+}

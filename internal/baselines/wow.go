@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sst"
+	"repro/internal/stats"
+)
+
+// WoW is the week-over-week detector of Chen et al. (SIGCOMM 2013),
+// cited by the paper (§6) as the decomposition-based approach for
+// seasonal time series: the current window is compared against the
+// same clock-time window exactly one week (or, as a fallback, one day)
+// earlier, and the score is the robust standardized difference of the
+// two windows' medians.
+//
+// WoW handles seasonality by construction but needs a long history
+// (≥ 1 period) per KPI, reacts only as fast as its window, and has no
+// mechanism for excluding non-seasonal confounders — it is included as
+// an additional comparison point beyond the paper's CUSUM/MRLS.
+type WoW struct {
+	// Window is the comparison window length (default 30).
+	Window int
+	// PeriodBins is the seasonal period (default one week of 1-minute
+	// bins). When the series is shorter than a period the scorer falls
+	// back to one day; with less than a day of history it returns 0.
+	PeriodBins int
+	// FallbackBins is the shorter fallback period (default one day).
+	FallbackBins int
+}
+
+// NewWoW returns the default week-over-week scorer.
+func NewWoW() *WoW {
+	return &WoW{Window: 30, PeriodBins: 7 * 1440, FallbackBins: 1440}
+}
+
+// Config exposes the geometry: the past span must cover the period plus
+// the window. The scorer self-truncates to the fallback period when a
+// full week is unavailable, so the declared geometry uses the fallback
+// (callers with longer series still benefit from the weekly lag).
+func (w *WoW) Config() sst.Config {
+	win := w.win()
+	fb := w.fallback()
+	return sst.Config{Omega: 1, Delta: fb + win, Gamma: 1, Eta: 1, K: 1}
+}
+
+// win resolves the window length.
+func (w *WoW) win() int {
+	if w.Window < 4 {
+		return 30
+	}
+	return w.Window
+}
+
+// fallback resolves the fallback period.
+func (w *WoW) fallback() int {
+	if w.FallbackBins < 1 {
+		return 1440
+	}
+	return w.FallbackBins
+}
+
+// period resolves the primary period.
+func (w *WoW) period() int {
+	if w.PeriodBins < 1 {
+		return 7 * 1440
+	}
+	return w.PeriodBins
+}
+
+// ScoreAt returns the week-over-week score of x at index t: the
+// absolute difference between the medians of the current window
+// x[t−W+1 .. t] and the same window one period earlier, divided by the
+// pooled MAD scale of the two windows. It panics when even the
+// fallback-period window does not fit.
+func (w *WoW) ScoreAt(x []float64, t int) float64 {
+	win := w.win()
+	lag := w.period()
+	if t-lag-win+1 < 0 {
+		lag = w.fallback()
+	}
+	lo := t - win + 1
+	if lo-lag < 0 || t >= len(x) {
+		panic(fmt.Sprintf("baselines: wow window [%d,%d] lag %d out of series length %d", lo, t, lag, len(x)))
+	}
+	cur := x[lo : t+1]
+	ref := x[lo-lag : t+1-lag]
+	curMed, curMAD := stats.MedianMAD(cur)
+	refMed, refMAD := stats.MedianMAD(ref)
+	scale := (curMAD + refMAD) / 2 * stats.MADScale
+	if floor := 1e-3 * math.Max(math.Abs(refMed), 1); scale < floor {
+		scale = floor
+	}
+	return math.Abs(curMed-refMed) / scale
+}

@@ -1,0 +1,282 @@
+// Package daemon assembles the deployed FUNNEL process (§5): a network
+// ingest endpoint agents publish KPI measurements to, a subscription
+// endpoint downstream consumers can tap, an admin endpoint the
+// operations team registers software changes on, and the Online
+// assessor that emits a report for every registered change once its
+// observation window completes.
+//
+// All state mutations — measurements, topology updates, change
+// registrations — flow through one event loop, so the daemon needs no
+// locking beyond what the store provides.
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/funnel"
+	"repro/internal/monitor"
+	"repro/internal/topo"
+)
+
+// Config wires a Daemon.
+type Config struct {
+	// Store is the central KPI store (its epoch bounds the history).
+	Store *monitor.Store
+	// Pipeline configures the assessor; ServerMetrics/InstanceMetrics
+	// select what the impact sets cover.
+	Pipeline funnel.Config
+	// IngestAddr, SubscribeAddr and AdminAddr are the listen addresses
+	// (use "127.0.0.1:0" to pick free ports). Empty disables that
+	// endpoint (ingest may be disabled when measurements are fed
+	// programmatically).
+	IngestAddr, SubscribeAddr, AdminAddr string
+}
+
+// Daemon is a running FUNNEL service.
+type Daemon struct {
+	store  *monitor.Store
+	topo   *topo.Topology
+	online *funnel.Online
+
+	ingest    *monitor.IngestServer
+	subscribe *monitor.Server
+	adminLn   net.Listener
+
+	events chan func()
+	quit   chan struct{}
+	done   chan struct{}
+
+	mu        sync.Mutex
+	adminConn sync.WaitGroup
+	closed    bool
+
+	// addresses as bound.
+	ingestAddr, subscribeAddr, adminAddr net.Addr
+}
+
+// RegisterRequest is the admin wire form of a change registration, one
+// JSON object per line:
+//
+//	{"id":"chg-1","type":"upgrade","service":"kv.cache",
+//	 "servers":["srv-1"],"at":"2015-12-03T12:00:00Z"}
+//
+// Servers are deployed into the topology as a side effect, so agents
+// can start publishing before or after registration.
+type RegisterRequest struct {
+	ID      string    `json:"id"`
+	Type    string    `json:"type"`
+	Service string    `json:"service"`
+	Servers []string  `json:"servers"`
+	At      time.Time `json:"at"`
+}
+
+// Start builds and launches a daemon.
+func Start(cfg Config) (*Daemon, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("daemon: nil store")
+	}
+	tp := topo.NewTopology()
+	online, err := funnel.NewOnline(cfg.Store, tp, cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		store:  cfg.Store,
+		topo:   tp,
+		online: online,
+		events: make(chan func(), 256),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	// Event loop: measurements and admin commands serialize here.
+	sub, cancel := cfg.Store.Subscribe(nil, 1<<16)
+	go func() {
+		defer close(d.done)
+		defer cancel()
+		for {
+			select {
+			case <-d.quit:
+				return
+			case _, ok := <-sub:
+				if !ok {
+					return
+				}
+				// The store already holds the measurement (the
+				// subscription fires after the append); only the
+				// pending-change bookkeeping needs the tick.
+				d.online.Poll()
+			case fn := <-d.events:
+				fn()
+			}
+		}
+	}()
+
+	if cfg.IngestAddr != "" {
+		d.ingest = monitor.NewIngestServer(cfg.Store)
+		if d.ingestAddr, err = d.ingest.Listen(cfg.IngestAddr); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	if cfg.SubscribeAddr != "" {
+		d.subscribe = monitor.NewServer(cfg.Store)
+		if d.subscribeAddr, err = d.subscribe.Listen(cfg.SubscribeAddr); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	if cfg.AdminAddr != "" {
+		ln, err := net.Listen("tcp", cfg.AdminAddr)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.adminLn = ln
+		d.adminAddr = ln.Addr()
+		go d.acceptAdmin(ln)
+	}
+	return d, nil
+}
+
+// IngestAddr returns the bound ingest address (nil if disabled).
+func (d *Daemon) IngestAddr() net.Addr { return d.ingestAddr }
+
+// SubscribeAddr returns the bound subscription address (nil if
+// disabled).
+func (d *Daemon) SubscribeAddr() net.Addr { return d.subscribeAddr }
+
+// AdminAddr returns the bound admin address (nil if disabled).
+func (d *Daemon) AdminAddr() net.Addr { return d.adminAddr }
+
+// Reports delivers finished assessments.
+func (d *Daemon) Reports() <-chan *funnel.Report { return d.online.Reports() }
+
+// Register registers a change programmatically (the admin endpoint
+// calls the same path). Unknown servers are deployed into the topology
+// first.
+func (d *Daemon) Register(req RegisterRequest) error {
+	if req.ID == "" || req.Service == "" || len(req.Servers) == 0 {
+		return fmt.Errorf("daemon: registration needs id, service and servers")
+	}
+	typ := changelog.Upgrade
+	if req.Type == "config" {
+		typ = changelog.Config
+	}
+	errc := make(chan error, 1)
+	fn := func() {
+		for _, srv := range req.Servers {
+			d.topo.Deploy(req.Service, srv)
+		}
+		errc <- d.online.RegisterChange(changelog.Change{
+			ID: req.ID, Type: typ, Service: req.Service,
+			Servers: req.Servers, At: req.At,
+		})
+	}
+	select {
+	case d.events <- fn:
+		select {
+		case err := <-errc:
+			return err
+		case <-d.done:
+			return fmt.Errorf("daemon: closed")
+		}
+	case <-d.done:
+		return fmt.Errorf("daemon: closed")
+	}
+}
+
+// DeployService records extra service→server placements (e.g. the
+// control-group servers agents publish for), so impact sets see them.
+func (d *Daemon) DeployService(service string, servers ...string) error {
+	done := make(chan struct{})
+	fn := func() {
+		for _, srv := range servers {
+			d.topo.Deploy(service, srv)
+		}
+		close(done)
+	}
+	select {
+	case d.events <- fn:
+		select {
+		case <-done:
+			return nil
+		case <-d.done:
+			return fmt.Errorf("daemon: closed")
+		}
+	case <-d.done:
+		return fmt.Errorf("daemon: closed")
+	}
+}
+
+// acceptAdmin serves line-delimited JSON registrations.
+func (d *Daemon) acceptAdmin(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		d.adminConn.Add(1)
+		go func() {
+			defer d.adminConn.Done()
+			defer conn.Close()
+			d.serveAdmin(conn)
+		}()
+	}
+}
+
+// serveAdmin handles one admin connection.
+func (d *Daemon) serveAdmin(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req RegisterRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			fmt.Fprintf(conn, "error: %v\n", err)
+			continue
+		}
+		if err := d.Register(req); err != nil {
+			fmt.Fprintf(conn, "error: %v\n", err)
+			continue
+		}
+		if _, err := io.WriteString(conn, "ok\n"); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts down the endpoints and the event loop, then closes the
+// report stream.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+
+	if d.ingest != nil {
+		d.ingest.Close()
+	}
+	if d.subscribe != nil {
+		d.subscribe.Close()
+	}
+	if d.adminLn != nil {
+		d.adminLn.Close()
+	}
+	d.adminConn.Wait()
+	close(d.quit)
+	<-d.done
+	d.online.Close()
+}

@@ -1,0 +1,244 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/funnel"
+	"repro/internal/monitor"
+	"repro/internal/topo"
+)
+
+const changeMin = 2*1440 + 240
+
+// startDaemon launches a daemon with all endpoints on loopback.
+func startDaemon(t *testing.T) (*Daemon, time.Time) {
+	t.Helper()
+	start := time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC)
+	store := monitor.NewStore(start, time.Minute)
+	d, err := Start(Config{
+		Store: store,
+		Pipeline: funnel.Config{
+			ServerMetrics: []string{"mem.util"},
+			HistoryDays:   2,
+		},
+		IngestAddr:    "127.0.0.1:0",
+		SubscribeAddr: "127.0.0.1:0",
+		AdminAddr:     "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, start
+}
+
+// publishScenario streams a 3-server service with a leak on srv-0
+// through the network ingest path.
+func publishScenario(t *testing.T, addr net.Addr, start time.Time, total int) {
+	t.Helper()
+	pub, err := monitor.DialPublisher(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	rng := rand.New(rand.NewSource(500))
+	for bin := 0; bin < total; bin++ {
+		ts := start.Add(time.Duration(bin) * time.Minute)
+		for i := 0; i < 3; i++ {
+			v := 58 + 0.6*rng.NormFloat64()
+			if i == 0 && bin >= changeMin {
+				v += 9
+			}
+			m := monitor.Measurement{
+				Key: topo.KPIKey{Scope: topo.ScopeServer, Entity: fmt.Sprintf("d-%d", i), Metric: "mem.util"},
+				T:   ts, V: v,
+			}
+			if err := pub.Publish(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bin%1440 == 0 {
+			if err := pub.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	d, start := startDaemon(t)
+	defer d.Close()
+
+	// The control servers exist in the topology (agents for them
+	// publish too, but topology placement comes from deployment data).
+	if err := d.DeployService("kv.cache", "d-0", "d-1", "d-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register the change over the admin endpoint.
+	admin, err := net.Dial("tcp", d.AdminAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	at := start.Add(changeMin * time.Minute).Format(time.RFC3339)
+	fmt.Fprintf(admin, `{"id":"d-chg","type":"config","service":"kv.cache","servers":["d-0"],"at":"%s"}`+"\n", at)
+	resp, err := bufio.NewReader(admin).ReadString('\n')
+	if err != nil || strings.TrimSpace(resp) != "ok" {
+		t.Fatalf("admin response %q err %v", resp, err)
+	}
+
+	publishScenario(t, d.IngestAddr(), start, changeMin+200)
+
+	select {
+	case rep := <-d.Reports():
+		flagged := rep.Flagged()
+		if len(flagged) != 1 || flagged[0].Key.Entity != "d-0" {
+			t.Fatalf("flagged = %+v", flagged)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("no report from the daemon")
+	}
+}
+
+func TestDaemonAdminErrors(t *testing.T) {
+	d, _ := startDaemon(t)
+	defer d.Close()
+	admin, err := net.Dial("tcp", d.AdminAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	r := bufio.NewReader(admin)
+
+	fmt.Fprintln(admin, `{broken json`)
+	if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "error:") {
+		t.Fatalf("garbage got %q", resp)
+	}
+	fmt.Fprintln(admin, `{"id":"","service":"","servers":[]}`)
+	if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "error:") {
+		t.Fatalf("empty registration got %q", resp)
+	}
+}
+
+func TestDaemonRejectsNilStore(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("nil store should be rejected")
+	}
+}
+
+func TestDaemonCloseIdempotent(t *testing.T) {
+	d, _ := startDaemon(t)
+	d.Close()
+	d.Close()
+	if err := d.DeployService("x", "y"); err == nil {
+		t.Fatal("deploy after close should fail")
+	}
+}
+
+// The durability story end to end: a daemon accumulates history, is
+// snapshotted and torn down; a replacement daemon restores the store,
+// receives only the post-restart data, and still has enough baseline to
+// assess a change registered after the restart.
+func TestDaemonRestartFromSnapshot(t *testing.T) {
+	start := time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC)
+	firstStore := monitor.NewStore(start, time.Minute)
+	pipeline := funnel.Config{ServerMetrics: []string{"mem.util"}, HistoryDays: 2}
+
+	d1, err := Start(Config{Store: firstStore, Pipeline: pipeline, IngestAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two days of history arrive before the "crash".
+	historyBins := 2 * 1440
+	feed := func(addr net.Addr, fromBin, toBin int, seedBase int64) {
+		pub, err := monitor.DialPublisher(addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pub.Close()
+		for bin := fromBin; bin < toBin; bin++ {
+			ts := start.Add(time.Duration(bin) * time.Minute)
+			for i := 0; i < 3; i++ {
+				rng := rand.New(rand.NewSource(seedBase + int64(bin*3+i)))
+				v := 58 + 0.6*rng.NormFloat64()
+				if i == 0 && bin >= changeMin {
+					v += 9
+				}
+				if err := pub.Publish(monitor.Measurement{
+					Key: topo.KPIKey{Scope: topo.ScopeServer, Entity: fmt.Sprintf("d-%d", i), Metric: "mem.util"},
+					T:   ts, V: v,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := pub.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(d1.IngestAddr(), 0, historyBins, 42)
+	waitForBins(t, firstStore, historyBins)
+
+	// Snapshot and tear down.
+	var snap bytes.Buffer
+	if err := firstStore.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	// Restart on the restored store.
+	restored, err := monitor.ReadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Start(Config{Store: restored, Pipeline: pipeline, IngestAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.DeployService("kv.cache", "d-0", "d-1", "d-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Register(RegisterRequest{
+		ID: "post-restart", Type: "config", Service: "kv.cache",
+		Servers: []string{"d-0"}, At: start.Add(changeMin * time.Minute),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	feed(d2.IngestAddr(), historyBins, changeMin+200, 42)
+
+	select {
+	case rep := <-d2.Reports():
+		flagged := rep.Flagged()
+		if len(flagged) != 1 || flagged[0].Key.Entity != "d-0" {
+			t.Fatalf("flagged after restart = %+v", flagged)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("no report after restart")
+	}
+}
+
+// waitForBins blocks until the store has at least n bins for the probe
+// key.
+func waitForBins(t *testing.T, store *monitor.Store, n int) {
+	t.Helper()
+	key := topo.KPIKey{Scope: topo.ScopeServer, Entity: "d-0", Metric: "mem.util"}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s, ok := store.Series(key); ok && s.Len() >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("store never caught up")
+}

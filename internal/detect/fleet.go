@@ -1,0 +1,97 @@
+package detect
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sst"
+	"repro/internal/topo"
+)
+
+// Fleet manages one online Stream per KPI key — the shape of FUNNEL's
+// deployment, where millions of KPI streams are watched concurrently
+// (§2.3). Streams are created lazily on first push; each key costs
+// O(window) memory.
+//
+// Fleet is safe for concurrent use; pushes to distinct keys proceed in
+// parallel, pushes to the same key serialize on that key's stream.
+type Fleet struct {
+	// newDetector builds the per-key detector (thresholds may differ by
+	// KPI class in production; the factory decides).
+	newDetector func(topo.KPIKey) *Detector
+
+	mu      sync.Mutex
+	streams map[topo.KPIKey]*fleetStream
+}
+
+// fleetStream serializes pushes per key.
+type fleetStream struct {
+	mu sync.Mutex
+	s  *Stream
+}
+
+// FleetDeclaration pairs a declaration with the KPI it fired on.
+type FleetDeclaration struct {
+	Key topo.KPIKey
+	Declaration
+}
+
+// NewFleet builds a fleet whose per-key detectors come from the
+// factory. A nil factory uses the deployed defaults (IKA scorer,
+// threshold 1.6, 7-bin persistence).
+func NewFleet(factory func(topo.KPIKey) *Detector) *Fleet {
+	if factory == nil {
+		factory = func(topo.KPIKey) *Detector {
+			d := New(sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true}), 1.6)
+			d.MaxGap = 5
+			return d
+		}
+	}
+	return &Fleet{newDetector: factory, streams: make(map[topo.KPIKey]*fleetStream)}
+}
+
+// Push feeds one sample for key and reports a declaration if the
+// persistence rule fired on this push.
+func (f *Fleet) Push(key topo.KPIKey, v float64) (FleetDeclaration, bool) {
+	f.mu.Lock()
+	fs, ok := f.streams[key]
+	if !ok {
+		fs = &fleetStream{s: NewStream(f.newDetector(key))}
+		f.streams[key] = fs
+	}
+	f.mu.Unlock()
+
+	fs.mu.Lock()
+	d, fired := fs.s.Push(v)
+	fs.mu.Unlock()
+	if !fired {
+		return FleetDeclaration{}, false
+	}
+	return FleetDeclaration{Key: key, Declaration: d}, true
+}
+
+// Len returns the number of tracked KPI streams.
+func (f *Fleet) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.streams)
+}
+
+// Keys returns the tracked keys, sorted by their string form.
+func (f *Fleet) Keys() []topo.KPIKey {
+	f.mu.Lock()
+	out := make([]topo.KPIKey, 0, len(f.streams))
+	for k := range f.streams {
+		out = append(out, k)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Drop forgets a key's stream (e.g. a decommissioned server).
+func (f *Fleet) Drop(key topo.KPIKey) {
+	f.mu.Lock()
+	delete(f.streams, key)
+	f.mu.Unlock()
+}

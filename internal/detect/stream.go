@@ -1,0 +1,128 @@
+package detect
+
+import (
+	"math"
+
+	"repro/internal/sst"
+)
+
+// Stream is the online form of Detector: feed KPI samples one bin at a
+// time with Push and receive declarations the moment the persistence
+// rule fires — the deployment mode of §5, where measurements arrive
+// from the subscription push within a second of collection.
+//
+// A Stream keeps only the scorer's sliding window of samples, so its
+// memory footprint is O(W) regardless of stream length. Scores lag the
+// newest sample by the scorer's future span: pushing bin t yields the
+// score of bin t−FutureSpan+1, exactly the wall-clock availability
+// accounting of Detection.AvailableAt.
+type Stream struct {
+	det    *Detector
+	cfg    sst.Config
+	window []float64
+	// absBase is the absolute bin index of window[0].
+	absBase int
+	// n is the number of samples pushed so far.
+	n int
+
+	// run state mirrors Detector.fromScores.
+	run      int
+	lastHit  int
+	hits     int
+	declared int
+	peak     float64
+	// open marks a run already declared (so End updates don't re-fire).
+	fired bool
+}
+
+// NewStream wraps a detector for online use.
+func NewStream(det *Detector) *Stream {
+	cfg := det.Scorer.Config()
+	return &Stream{
+		det:      det,
+		cfg:      cfg,
+		window:   make([]float64, 0, cfg.WindowSize()+1),
+		run:      -1,
+		lastHit:  -1,
+		declared: -1,
+	}
+}
+
+// Declaration is an online detection event: the persistence rule was
+// satisfied at wall-clock bin At for a run whose evidence started at
+// Start.
+type Declaration struct {
+	// Start is the first above-threshold bin of the run.
+	Start int
+	// At is the wall-clock bin at which the declaration fired: the
+	// sample pushed for bin At completed the evidence.
+	At int
+	// Score is the score of the bin that completed the persistence
+	// requirement.
+	Score float64
+}
+
+// Push appends the sample for the next bin and reports a declaration
+// if the persistence rule fired on this push.
+func (s *Stream) Push(v float64) (Declaration, bool) {
+	s.window = append(s.window, v)
+	s.n++
+	w := s.cfg.WindowSize()
+	if len(s.window) > w {
+		drop := len(s.window) - w
+		s.window = s.window[drop:]
+		s.absBase += drop
+	}
+	if len(s.window) < w {
+		return Declaration{}, false
+	}
+
+	// The scoreable bin inside the window sits PastSpan from its start.
+	tLocal := s.cfg.PastSpan()
+	score := s.det.Scorer.ScoreAt(s.window, tLocal)
+	scoredBin := s.absBase + tLocal
+	return s.observe(scoredBin, score)
+}
+
+// observe advances the run state with one (bin, score) pair.
+func (s *Stream) observe(bin int, score float64) (Declaration, bool) {
+	per := s.det.persistence()
+	gap := s.det.MaxGap
+	if gap < 0 {
+		gap = 0
+	}
+	above := !math.IsNaN(score) && score >= s.det.Threshold
+	if above {
+		if s.run < 0 {
+			s.run = bin
+			s.hits = 0
+			s.fired = false
+			s.peak = 0
+		}
+		s.hits++
+		s.lastHit = bin
+		if score > s.peak {
+			s.peak = score
+		}
+		if s.hits == per && !s.fired {
+			s.fired = true
+			s.declared = bin
+			return Declaration{
+				Start: s.run,
+				At:    s.n - 1, // wall clock: the bin just pushed
+				Score: score,
+			}, true
+		}
+		return Declaration{}, false
+	}
+	if s.run >= 0 && (math.IsNaN(score) || bin-s.lastHit > gap) {
+		s.run, s.hits, s.lastHit, s.declared, s.peak, s.fired = -1, 0, -1, -1, 0, false
+	}
+	return Declaration{}, false
+}
+
+// Len returns the number of samples pushed so far.
+func (s *Stream) Len() int { return s.n }
+
+// InRun reports whether an above-threshold run is currently open.
+func (s *Stream) InRun() bool { return s.run >= 0 }

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"repro/internal/workload"
+)
+
+// DeploymentStats mirrors the paper's Table 3: the daily statistics the
+// operations team saw during FUNNEL's one-week deployment, plus the
+// precision of the delivered KPI changes as verified against ground
+// truth (the role the operations team's manual verification plays in
+// §5).
+type DeploymentStats struct {
+	// Changes is the number of assessed software changes.
+	Changes int
+	// ChangesWithImpact counts changes with at least one KPI change
+	// attributed to them.
+	ChangesWithImpact int
+	// KPIs is the total number of monitored KPI series.
+	KPIs int
+	// KPIChanges is the number of delivered (KPI, change) attributions.
+	KPIChanges int
+	// TP and FP split the deliveries by ground truth.
+	TP, FP int
+}
+
+// Precision returns TP/(TP+FP), or NaN with no deliveries.
+func (d DeploymentStats) Precision() float64 {
+	return ratio(float64(d.TP), float64(d.TP+d.FP))
+}
+
+// SimulateDeployment runs a method over every change of a scenario and
+// accumulates the Table-3 statistics.
+func SimulateDeployment(sc *workload.Scenario, m Method) (DeploymentStats, error) {
+	stats := DeploymentStats{Changes: len(sc.Cases), KPIs: sc.Source.Len()}
+	for _, cs := range sc.Cases {
+		preds, err := m.AssessCase(sc, cs)
+		if err != nil {
+			return DeploymentStats{}, err
+		}
+		flagged := 0
+		for key, pred := range preds {
+			if !pred.Changed {
+				continue
+			}
+			flagged++
+			if cs.Truth[key].Changed {
+				stats.TP++
+			} else {
+				stats.FP++
+			}
+		}
+		if flagged > 0 {
+			stats.ChangesWithImpact++
+			stats.KPIChanges += flagged
+		}
+	}
+	return stats, nil
+}

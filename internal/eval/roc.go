@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/sst"
+	"repro/internal/workload"
+)
+
+// §4.1 notes that fixing each method's parameters at its best accuracy
+// "draws the same conclusion as the method that changing the value of
+// the parameters, calculating the accuracies and plotting the receiver
+// operating characteristic (ROC) curves". This file provides that
+// alternative methodology: sweep the detection threshold of a scorer
+// across the scenario and emit the (FPR, TPR) curve.
+
+// ROCPoint is one operating point of a threshold sweep.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // recall at this threshold
+	FPR       float64 // 1 − TNR at this threshold
+}
+
+// AUC returns the area under a curve of points sorted by ascending FPR
+// (trapezoidal rule, clamped to the observed FPR range).
+func AUC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return math.NaN()
+	}
+	pts := make([]ROCPoint, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].FPR < pts[j].FPR })
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].FPR - pts[i-1].FPR) * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ROCSweep scores every treated KPI of the scenario once, then sweeps
+// thresholds over the peak detection scores to produce the ROC curve.
+// Detection uses the same persistence machinery as the evaluation
+// driver; the per-item statistic is the highest persistent-run peak in
+// the assessment window (0 when no run survives persistence even at
+// threshold 0 — which cannot happen for finite scores, so every item
+// gets a peak and the sweep is exact).
+//
+// steps is the number of threshold samples (≥ 2); they are placed at
+// quantiles of the observed peaks so every step moves the curve.
+func ROCSweep(sc *workload.Scenario, scorer sst.Scorer, persistence, windowBins, steps int) ([]ROCPoint, error) {
+	if steps < 2 {
+		steps = 10
+	}
+	if windowBins <= 0 {
+		windowBins = 60
+	}
+	type item struct {
+		peak    float64
+		changed bool
+	}
+	var items []item
+	cfg := scorer.Config()
+	// A threshold-0 detector: every finite score joins a run, so the
+	// per-item peak equals the largest persistent-run peak.
+	det := detect.New(scorer, 0)
+	if persistence > 0 {
+		det.Persistence = persistence
+	}
+	for _, cs := range sc.Cases {
+		for key, truth := range cs.Truth {
+			series, ok := sc.Source.Series(key)
+			if !ok {
+				continue
+			}
+			lo := cs.ChangeBin - windowBins - cfg.PastSpan()
+			if lo < 0 {
+				lo = 0
+			}
+			hi := cs.ChangeBin + windowBins + cfg.FutureSpan()
+			if hi > series.Len() {
+				hi = series.Len()
+			}
+			peak := 0.0
+			for _, d := range det.Detect(series.Values[lo:hi]) {
+				if d.End+lo >= cs.ChangeBin-2 && d.Peak > peak {
+					peak = d.Peak
+				}
+			}
+			items = append(items, item{peak: peak, changed: truth.Changed})
+		}
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("eval: no items to sweep")
+	}
+
+	peaks := make([]float64, len(items))
+	for i, it := range items {
+		peaks[i] = it.peak
+	}
+	sort.Float64s(peaks)
+
+	var curve []ROCPoint
+	for s := 0; s < steps; s++ {
+		q := float64(s) / float64(steps-1)
+		thr := peaks[int(q*float64(len(peaks)-1))]
+		var tp, fn, fp, tn float64
+		for _, it := range items {
+			pred := it.peak >= thr && it.peak > 0
+			switch {
+			case pred && it.changed:
+				tp++
+			case pred && !it.changed:
+				fp++
+			case !pred && it.changed:
+				fn++
+			default:
+				tn++
+			}
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: thr,
+			TPR:       ratio(tp, tp+fn),
+			FPR:       ratio(fp, fp+tn),
+		})
+	}
+	return curve, nil
+}

@@ -1,0 +1,526 @@
+// Package funnel implements the FUNNEL assessment pipeline of Fig. 3:
+// for a software change it identifies the impact set (§3.1), detects
+// KPI behavior changes with the improved, IKA-accelerated SST
+// (§3.2.1–§3.2.3), and determines whether each detected change was
+// caused by the software change using Difference-in-Differences against
+// the dark-launch control group (§3.2.4) or against same-time-of-day
+// historical measurements when no concurrent control exists (§3.2.5).
+package funnel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/detect"
+	"repro/internal/did"
+	"repro/internal/sst"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/topo"
+)
+
+// SeriesSource supplies KPI series by key. monitor.Store and
+// workload.MapSource both satisfy it.
+type SeriesSource interface {
+	Series(key topo.KPIKey) (*timeseries.Series, bool)
+}
+
+// Config tunes the assessor. Zero fields take the documented defaults.
+type Config struct {
+	// SST configures the change scorer; zero value gives the paper's
+	// ω = 9, η = 3, k = 5 with normalization and the robustness filter
+	// enabled.
+	SST sst.Config
+	// DetectorThreshold is the change-score threshold (default 1.6).
+	// Calibrate with detect.Calibrate for production use.
+	DetectorThreshold float64
+	// Persistence is the minimum run length in bins (default 7, §4.1).
+	Persistence int
+	// AlphaThreshold is the |α| DiD decision threshold on normalized
+	// KPIs (default 1.0). §3.2.4 suggests "a small value like 0.5" for
+	// change-sensitive services in the KPI's own units; our samples are
+	// robustly normalized, so the unit is one baseline-MAD and 1.0 is
+	// the comparable operating point.
+	AlphaThreshold float64
+	// AlphaOverrides sets per-service |α| thresholds: §3.2.4 sets "a
+	// small value like 0.5" for change-sensitive services
+	// (advertisement, online shopping) and larger values elsewhere.
+	// The key is the service owning the assessed KPI (the changed
+	// service for its servers/instances/aggregate, the affected
+	// service for propagated aggregates).
+	AlphaOverrides map[string]float64
+	// MinTStat additionally requires |α/SE(α)| to reach this value
+	// before a change is attributed (default 4). Eq. 15's explicit
+	// purpose is "to obtain the standard errors and significance
+	// levels for the DiD estimator"; without it, the ≈0.4-σ estimation
+	// noise of 30-bin periods leaks borderline attributions.
+	MinTStat float64
+	// DiDWindow is the pre/post period length ω for the DiD estimator
+	// in bins (default 30).
+	DiDWindow int
+	// HistoryDays is how many historical days build the seasonal
+	// control group (default 30, §3.2.5).
+	HistoryDays int
+	// WindowBins is the assessment half-window around the change; KPI
+	// changes are searched within ±WindowBins of the change (default
+	// 60 — the operators consider 1 h enough, §4.1).
+	WindowBins int
+	// ServerMetrics and InstanceMetrics name the KPIs to collect at
+	// each scope. Empty means every metric the source has is out of
+	// scope — callers must say what to monitor.
+	ServerMetrics, InstanceMetrics []string
+	// SkipDetection disables the SST stage and treats every KPI as
+	// changed, leaving the decision entirely to DiD. Used by ablation
+	// benches.
+	SkipDetection bool
+	// SkipDiD disables cause determination: every detected change is
+	// attributed to the software change. This reproduces the "Improved
+	// SST" row of Table 1.
+	SkipDiD bool
+	// VerifyParallelTrends additionally runs the DiD placebo test on
+	// the pre-change periods and sets Assessment.TrendWarning when the
+	// parallel-trends assumption looks violated (baseline
+	// contamination, pre-existing drift). The verdict is unchanged —
+	// the warning tells the operations team to double-check manually.
+	VerifyParallelTrends bool
+}
+
+// DefaultDetectorThreshold is the zero-value detection threshold. It
+// suits robustly-normalized scores with the 7-bin persistence rule;
+// production deployments calibrate per corpus with detect.Calibrate.
+const DefaultDetectorThreshold = 1.6
+
+// withDefaults resolves the zero-value conventions.
+func (c Config) withDefaults() Config {
+	if c.DetectorThreshold == 0 {
+		c.DetectorThreshold = DefaultDetectorThreshold
+	}
+	if c.Persistence <= 0 {
+		c.Persistence = detect.DefaultPersistence
+	}
+	if c.AlphaThreshold == 0 {
+		c.AlphaThreshold = 1.0
+	}
+	if c.MinTStat == 0 {
+		c.MinTStat = 4
+	}
+	if c.DiDWindow <= 0 {
+		c.DiDWindow = 30
+	}
+	if c.HistoryDays <= 0 {
+		c.HistoryDays = 30
+	}
+	if c.WindowBins <= 0 {
+		c.WindowBins = 60
+	}
+	zero := sst.Config{}
+	if c.SST == zero {
+		c.SST = sst.Config{Normalize: true, RobustFilter: true}
+	}
+	return c
+}
+
+// Verdict is FUNNEL's conclusion about one KPI of the impact set.
+type Verdict int
+
+const (
+	// NoChange means no persistent behavior change was detected.
+	NoChange Verdict = iota
+	// ChangedByOther means a change was detected but DiD attributed it
+	// to factors other than the software change (seasonality, common
+	// shocks, ...).
+	ChangedByOther
+	// ChangedBySoftware means a change was detected and DiD attributed
+	// it to the software change.
+	ChangedBySoftware
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case NoChange:
+		return "no-change"
+	case ChangedByOther:
+		return "changed-by-other"
+	case ChangedBySoftware:
+		return "changed-by-software"
+	default:
+		return "unknown"
+	}
+}
+
+// Assessment is the per-KPI outcome delivered to the operations team
+// (step 12 of Fig. 3).
+type Assessment struct {
+	Key     topo.KPIKey
+	Verdict Verdict
+	// Detection is the underlying detection (meaningful unless
+	// NoChange); bin indices are absolute positions in the KPI series.
+	Detection detect.Detection
+	// Alpha is the DiD impact estimator (0 when DiD did not run).
+	Alpha float64
+	// ControlKind records which control group DiD used.
+	ControlKind ControlKind
+	// TrendWarning is set (only when Config.VerifyParallelTrends is
+	// on) when the DiD placebo test found the treated and control
+	// groups drifting apart *before* the change, weakening the causal
+	// read of Alpha.
+	TrendWarning bool
+	// ControlSimilarity is the Pearson correlation between the treated
+	// series and the control average over the pre-change period, when a
+	// concurrent control was used (0 otherwise). §3.2.4's first
+	// observation — load-balanced instances move together — predicts
+	// values near 1; a low value warns that this control group is a
+	// poor counterfactual.
+	ControlSimilarity float64
+	// Err records a per-KPI processing problem (missing series, no
+	// control); such KPIs are delivered for manual inspection.
+	Err error
+}
+
+// ControlKind says where the DiD control group came from.
+type ControlKind int
+
+const (
+	// ControlNone: DiD did not run (no detection, SkipDiD, or error).
+	ControlNone ControlKind = iota
+	// ControlConcurrent: cservers/cinstances under Dark Launching.
+	ControlConcurrent
+	// ControlHistorical: same time-of-day windows of prior days.
+	ControlHistorical
+)
+
+// String names the control kind.
+func (c ControlKind) String() string {
+	switch c {
+	case ControlConcurrent:
+		return "concurrent"
+	case ControlHistorical:
+		return "historical"
+	default:
+		return "none"
+	}
+}
+
+// Report is the result of assessing one software change.
+type Report struct {
+	Change      changelog.Change
+	Set         *topo.ImpactSet
+	ChangeBin   int
+	Assessments []Assessment
+}
+
+// Flagged returns the assessments attributed to the software change.
+func (r *Report) Flagged() []Assessment {
+	var out []Assessment
+	for _, a := range r.Assessments {
+		if a.Verdict == ChangedBySoftware {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Assessor runs the FUNNEL pipeline against a series source and a
+// topology.
+type Assessor struct {
+	cfg    Config
+	source SeriesSource
+	topo   *topo.Topology
+	scorer sst.Scorer
+	det    *detect.Detector
+}
+
+// NewAssessor builds an assessor. It returns an error when the SST
+// configuration is invalid.
+func NewAssessor(source SeriesSource, tp *topo.Topology, cfg Config) (*Assessor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.SST.Validate(); err != nil {
+		return nil, err
+	}
+	scorer := sst.NewIKA(cfg.SST)
+	det := detect.New(scorer, cfg.DetectorThreshold)
+	det.Persistence = cfg.Persistence
+	// §4.1's rule requires 7 minutes of change evidence, not 7
+	// gap-free windows: on bursty KPIs the score wobbles through a
+	// transition, so the run tolerates short sub-threshold stretches.
+	det.MaxGap = 5
+	return &Assessor{cfg: cfg, source: source, topo: tp, scorer: scorer, det: det}, nil
+}
+
+// Config returns the resolved configuration.
+func (a *Assessor) Config() Config { return a.cfg }
+
+// Assess runs the full pipeline for one software change.
+func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
+	set, err := a.topo.IdentifyImpactSet(change.Service, change.Servers)
+	if err != nil {
+		return nil, err
+	}
+	keys := set.TreatedKPIs(a.cfg.ServerMetrics, a.cfg.InstanceMetrics)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("funnel: impact set of %s has no KPIs — configure ServerMetrics/InstanceMetrics", change.ID)
+	}
+	report := &Report{Change: change, Set: set}
+	for _, key := range keys {
+		assessment := a.assessKPI(change, set, key, &report.ChangeBin)
+		report.Assessments = append(report.Assessments, assessment)
+	}
+	return report, nil
+}
+
+// assessKPI runs detection and determination for one KPI.
+// changeBinOut receives the change's bin index in the series timeline
+// (same for all KPIs of a change; stored once on the report).
+func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, changeBinOut *int) Assessment {
+	out := Assessment{Key: key}
+	series, ok := a.source.Series(key)
+	if !ok && key.Scope == topo.ScopeService {
+		// The paper's centralized database stores service KPIs as
+		// aggregations of instance KPIs (§2.2); when the source lacks
+		// the aggregate, compute it from the service's instances.
+		if agg, err := a.groupAverage(a.topo.InstancesOf(key.Entity), key.Metric); err == nil {
+			series, ok = agg, true
+		}
+	}
+	if !ok {
+		out.Err = fmt.Errorf("funnel: no series for %v", key)
+		return out
+	}
+	if key.Scope == topo.ScopeService && key.Entity == set.ChangedService && set.Dark() {
+		// §3.2.4: for the changed service's aggregate, "determining the
+		// relative performance of the tinstances is sufficient". Under
+		// Dark Launching the aggregate dilutes the effect by the
+		// untreated instances, so both detection and determination run
+		// on the tinstance average instead.
+		if treated, err := a.groupAverage(set.TInstances, key.Metric); err == nil {
+			series = treated
+		}
+	}
+	if series.HasGaps() {
+		series = series.Clone().FillGaps()
+	}
+	changeBin, inRange := series.IndexOf(change.At)
+	if !inRange {
+		out.Err = fmt.Errorf("funnel: change time outside series for %v", key)
+		return out
+	}
+	*changeBinOut = changeBin
+
+	// Step 2 of Fig. 3: KPI change detection over the assessment
+	// window around the change.
+	detection, found := a.detectAround(series, changeBin)
+	if a.cfg.SkipDetection {
+		found = true
+		if detection.Start == 0 && detection.End == 0 {
+			detection = detect.Detection{Start: changeBin, DeclaredAt: changeBin, AvailableAt: changeBin, End: changeBin}
+		}
+	}
+	if !found {
+		return out // step 3: no performance change
+	}
+	out.Detection = detection
+	if a.cfg.SkipDiD {
+		out.Verdict = ChangedBySoftware
+		return out
+	}
+
+	// Steps 4–11: determine the cause.
+	causal, alpha, ckind, trendWarn, similarity, err := a.determine(change, set, key, series, changeBin)
+	out.Alpha = alpha
+	out.ControlKind = ckind
+	out.TrendWarning = trendWarn
+	out.ControlSimilarity = similarity
+	if err != nil {
+		// No usable control: deliver the detection for manual
+		// inspection, flagged as software-caused (conservative).
+		out.Err = err
+		out.Verdict = ChangedBySoftware
+		return out
+	}
+	if causal {
+		out.Verdict = ChangedBySoftware
+	} else {
+		out.Verdict = ChangedByOther
+	}
+	return out
+}
+
+// detectAround runs the detector on the ±WindowBins assessment window
+// and returns the first detection whose run touches the post-change
+// half, with indices translated to absolute series positions.
+func (a *Assessor) detectAround(series *timeseries.Series, changeBin int) (detect.Detection, bool) {
+	w := a.cfg.WindowBins
+	lo := changeBin - w - a.cfg.SST.PastSpan()
+	if lo < 0 {
+		lo = 0
+	}
+	hi := changeBin + w + a.cfg.SST.FutureSpan()
+	if hi > series.Len() {
+		hi = series.Len()
+	}
+	segment := series.Values[lo:hi]
+	for _, d := range a.det.Detect(segment) {
+		d.Start += lo
+		d.DeclaredAt += lo
+		d.AvailableAt += lo
+		d.End += lo
+		// Only changes that persist into the post-change period can be
+		// change-induced; the KPI change may begin slightly before the
+		// logged change time (clock skew, scorer lookahead).
+		if d.End >= changeBin-2 {
+			return d, true
+		}
+	}
+	return detect.Detection{}, false
+}
+
+// determine applies the Fig. 3 decision tree for cause determination.
+func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int) (causal bool, alpha float64, ckind ControlKind, trendWarn bool, similarity float64, err error) {
+	w := a.cfg.DiDWindow
+	if changeBin-w < 0 || changeBin+w > series.Len() {
+		return false, 0, ControlNone, false, 0, fmt.Errorf("funnel: DiD periods out of range for %v", key)
+	}
+
+	// Step 4: affected-service KPIs have no concurrent control; step 7:
+	// neither do full launches. The *changed* service's aggregate is
+	// special: §3.2.4 compares the tinstances (treated) against the
+	// cinstances (control) for it, so under Dark Launching it does have
+	// a concurrent control group.
+	controls := set.ControlKPIs(key)
+	if key.Scope == topo.ScopeService && key.Entity == set.ChangedService && set.Dark() {
+		// The caller already swapped in the tinstance average as the
+		// treated series; the cinstances are its concurrent control.
+		for _, in := range set.CInstances {
+			controls = append(controls, topo.KPIKey{Scope: topo.ScopeInstance, Entity: in, Metric: key.Metric})
+		}
+	}
+	if set.Dark() && len(controls) > 0 {
+		// Steps 8–10: concurrent control group.
+		control, cerr := a.controlAverage(controls)
+		if cerr != nil {
+			return false, 0, ControlNone, false, 0, cerr
+		}
+		tPre, tPost := series.Around(changeBin, w)
+		cb, inRange := control.IndexOf(change.At)
+		if !inRange || cb-w < 0 || cb+w > control.Len() {
+			return false, 0, ControlNone, false, 0, fmt.Errorf("funnel: control series too short for %v", key)
+		}
+		cPre, cPost := control.Around(cb, w)
+		// §3.2.4 observation 1: verify the load-balancing similarity
+		// the DiD comparison rests on.
+		similarity = stats.Correlation(tPre, cPre)
+		np, nq, ncp, ncq := did.NormalizeGroups(tPre, tPost, cPre, cPost)
+		res, derr := did.Estimate(np, nq, ncp, ncq)
+		if derr != nil {
+			return false, 0, ControlNone, false, similarity, derr
+		}
+		if a.cfg.VerifyParallelTrends {
+			if chk, terr := did.ParallelTrends(series, control, changeBin, w, a.cfg.AlphaThreshold); terr == nil && !chk.Parallel {
+				trendWarn = true
+			}
+		}
+		return a.causal(res, serviceOf(set, key)), res.Alpha, ControlConcurrent, trendWarn, similarity, nil
+	}
+
+	// Steps 5–6, 11: seasonal exclusion against historical windows.
+	// Weekday-matched (weekly-lag) controls are preferred when a full
+	// week of history exists: they cancel the day-of-week effect
+	// exactly; the day-based pool is the fallback.
+	var cPre, cPost []float64
+	ok := false
+	if a.cfg.HistoryDays >= 7 {
+		cPre, cPost, ok = did.HistoricalControlWeekly(series, changeBin, w, a.cfg.HistoryDays/7)
+	}
+	if !ok {
+		cPre, cPost, ok = did.HistoricalControl(series, changeBin, w, a.cfg.HistoryDays)
+	}
+	if !ok {
+		return false, 0, ControlNone, false, 0, fmt.Errorf("funnel: no historical control for %v", key)
+	}
+	tPre, tPost := series.Around(changeBin, w)
+	np, nq, ncp, ncq := did.NormalizeGroups(tPre, tPost, cPre, cPost)
+	res, derr := did.Estimate(np, nq, ncp, ncq)
+	if derr != nil {
+		return false, 0, ControlNone, false, 0, derr
+	}
+	if a.cfg.VerifyParallelTrends {
+		if chk, terr := did.PlaceboSeasonal(series, changeBin, w, a.cfg.HistoryDays, a.cfg.AlphaThreshold); terr == nil && !chk.Parallel {
+			trendWarn = true
+		}
+	}
+	return a.causal(res, serviceOf(set, key)), res.Alpha, ControlHistorical, trendWarn, 0, nil
+}
+
+// serviceOf resolves which service's sensitivity governs a KPI: the
+// entity itself for service-scope keys, the changed service otherwise.
+func serviceOf(set *topo.ImpactSet, key topo.KPIKey) string {
+	if key.Scope == topo.ScopeService {
+		return key.Entity
+	}
+	return set.ChangedService
+}
+
+// causal applies the two-part attribution rule: the impact estimate
+// must be material (|α| past the service's threshold) and
+// statistically significant (|t| past MinTStat).
+func (a *Assessor) causal(res did.Result, service string) bool {
+	thr := a.cfg.AlphaThreshold
+	if o, ok := a.cfg.AlphaOverrides[service]; ok && o > 0 {
+		thr = o
+	}
+	return res.Causal(thr) && math.Abs(res.TStat) >= a.cfg.MinTStat
+}
+
+// groupAverage averages one metric across a set of instances.
+func (a *Assessor) groupAverage(instances []string, metric string) (*timeseries.Series, error) {
+	keys := make([]topo.KPIKey, 0, len(instances))
+	for _, in := range instances {
+		keys = append(keys, topo.KPIKey{Scope: topo.ScopeInstance, Entity: in, Metric: metric})
+	}
+	return a.controlAverage(keys)
+}
+
+// controlAverage pulls and averages the control-group series (§3.2.4
+// uses the average of all control KPIs so hotspots wash out).
+func (a *Assessor) controlAverage(keys []topo.KPIKey) (*timeseries.Series, error) {
+	var series []*timeseries.Series
+	for _, k := range keys {
+		s, ok := a.source.Series(k)
+		if !ok {
+			continue
+		}
+		if s.HasGaps() {
+			s = s.Clone().FillGaps()
+		}
+		series = append(series, s)
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("funnel: no control series available")
+	}
+	aligned, err := timeseries.Align(series...)
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.Average(aligned)
+}
+
+// DetectionDelay returns the wall-clock delay in bins between the true
+// change start and the assessment's detection availability, for
+// evaluation against labelled data (Fig. 5). ok is false when the
+// assessment carries no detection.
+func DetectionDelay(a Assessment, trueStart int) (int, bool) {
+	if a.Verdict == NoChange {
+		return 0, false
+	}
+	d := a.Detection.AvailableAt - trueStart
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// ChangeTime converts a bin index back to wall-clock time for a series.
+func ChangeTime(s *timeseries.Series, bin int) time.Time { return s.TimeAt(bin) }

@@ -1,0 +1,152 @@
+package funnel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/monitor"
+	"repro/internal/topo"
+)
+
+// onlineFixture wires an Online assessor to a 3-server service with a
+// memory leak on the treated server.
+func onlineFixture(t *testing.T) (*Online, *monitor.Agent, changelog.Change, int) {
+	t.Helper()
+	start := time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC)
+	store := monitor.NewStore(start, time.Minute)
+	tp := topo.NewTopology()
+	agent := monitor.NewAgent(store)
+	const changeMin = 2*1440 + 300
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 3; i++ {
+		srv := []string{"on-0", "on-1", "on-2"}[i]
+		tp.Deploy("kv.cache", srv)
+		treated := i == 0
+		seed := rng.Int63()
+		agent.Track(topo.KPIKey{Scope: topo.ScopeServer, Entity: srv, Metric: "mem.util"},
+			func(bin int) float64 {
+				r := rand.New(rand.NewSource(seed + int64(bin)))
+				v := 58 + 0.6*r.NormFloat64()
+				if treated && bin >= changeMin {
+					v += 9
+				}
+				return v
+			})
+	}
+	online, err := NewOnline(store, tp, Config{
+		ServerMetrics: []string{"mem.util"},
+		HistoryDays:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	change := changelog.Change{
+		ID: "kv-1", Type: changelog.Config, Service: "kv.cache",
+		Servers: []string{"on-0"}, At: start.Add(changeMin * time.Minute),
+	}
+	return online, agent, change, changeMin
+}
+
+func TestOnlineEmitsReportWhenWindowCompletes(t *testing.T) {
+	online, agent, change, changeMin := onlineFixture(t)
+
+	// Feed history, register the change at its deployment time, keep
+	// feeding. The agent writes into the same store, so drive Online's
+	// readiness check through HandleMeasurement on a probe key.
+	sub, cancel := storeOf(online).Subscribe(nil, 1<<16)
+	defer cancel()
+	go agent.Run(changeMin + 200)
+
+	registered := false
+	var report *Report
+	timeout := time.After(30 * time.Second)
+loop:
+	for {
+		select {
+		case m := <-sub:
+			// The subscription echoes the agent's appends; hand them to
+			// Online for pending-change bookkeeping (the store already
+			// has the data).
+			if !registered && !m.T.Before(change.At) {
+				if err := online.RegisterChange(change); err != nil {
+					t.Fatal(err)
+				}
+				registered = true
+			}
+			online.assessReady()
+			select {
+			case report = <-online.Reports():
+				break loop
+			default:
+			}
+		case <-timeout:
+			t.Fatal("no report before timeout")
+		}
+	}
+	if report == nil {
+		t.Fatal("nil report")
+	}
+	flagged := report.Flagged()
+	if len(flagged) != 1 || flagged[0].Key.Entity != "on-0" {
+		t.Fatalf("flagged = %+v", flagged)
+	}
+	if online.Pending() != 0 {
+		t.Fatalf("pending = %d", online.Pending())
+	}
+}
+
+// storeOf exposes the online store for test wiring.
+func storeOf(o *Online) *monitor.Store { return o.store }
+
+func TestOnlineRegisterUnknownService(t *testing.T) {
+	online, _, change, _ := onlineFixture(t)
+	change.Service = "nope"
+	if err := online.RegisterChange(change); err == nil {
+		t.Fatal("unknown service should be rejected at registration")
+	}
+}
+
+func TestOnlineRunAndClose(t *testing.T) {
+	online, _, change, changeMin := onlineFixture(t)
+	ch := make(chan monitor.Measurement, 1024)
+	done := make(chan struct{})
+	go func() {
+		online.Run(ch)
+		close(done)
+	}()
+
+	start := storeOf(online).Start()
+	rng := rand.New(rand.NewSource(78))
+	if err := online.RegisterChange(change); err != nil {
+		t.Fatal(err)
+	}
+	total := changeMin + 200
+	for bin := 0; bin < total; bin++ {
+		ts := start.Add(time.Duration(bin) * time.Minute)
+		for i, srv := range []string{"on-0", "on-1", "on-2"} {
+			v := 58 + 0.6*rng.NormFloat64()
+			if i == 0 && bin >= changeMin {
+				v += 9
+			}
+			ch <- monitor.Measurement{
+				Key: topo.KPIKey{Scope: topo.ScopeServer, Entity: srv, Metric: "mem.util"},
+				T:   ts, V: v,
+			}
+		}
+	}
+	close(ch)
+	<-done
+
+	var reports []*Report
+	for rep := range online.Reports() {
+		reports = append(reports, rep)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if len(reports[0].Flagged()) != 1 {
+		t.Fatalf("flagged = %+v", reports[0].Flagged())
+	}
+}

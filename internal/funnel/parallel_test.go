@@ -1,0 +1,87 @@
+package funnel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/changelog"
+)
+
+func TestAssessAllMatchesSequential(t *testing.T) {
+	sc := smallScenario(t, 4)
+	a := newAssessor(t, sc, nil)
+
+	changes := make([]changelog.Change, 0, len(sc.Cases))
+	for _, cs := range sc.Cases {
+		changes = append(changes, cs.Change)
+	}
+
+	par := a.AssessAll(changes, 4)
+	if len(par) != len(changes) {
+		t.Fatalf("results = %d", len(par))
+	}
+	for i, r := range par {
+		if r.Err != nil {
+			t.Fatalf("change %d: %v", i, r.Err)
+		}
+		if r.Change.ID != changes[i].ID {
+			t.Fatalf("order broken at %d", i)
+		}
+		seq, err := a.Assess(changes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(flaggedKeys(seq), flaggedKeys(r.Report)) {
+			t.Fatalf("change %d: parallel and sequential disagree", i)
+		}
+	}
+}
+
+func flaggedKeys(r *Report) []string {
+	var out []string
+	for _, a := range r.Flagged() {
+		out = append(out, a.Key.String())
+	}
+	return out
+}
+
+func TestAssessAllEmpty(t *testing.T) {
+	sc := smallScenario(t, 2)
+	a := newAssessor(t, sc, nil)
+	if got := a.AssessAll(nil, 4); len(got) != 0 {
+		t.Fatalf("empty input gave %d results", len(got))
+	}
+}
+
+func TestAssessAllPropagatesErrors(t *testing.T) {
+	sc := smallScenario(t, 2)
+	a := newAssessor(t, sc, nil)
+	bad := sc.Cases[0].Change
+	bad.Service = "nope"
+	res := a.AssessAll([]changelog.Change{bad, sc.Cases[1].Change}, 2)
+	if res[0].Err == nil {
+		t.Fatal("bad change should error")
+	}
+	if res[1].Err != nil {
+		t.Fatalf("good change errored: %v", res[1].Err)
+	}
+}
+
+func TestFlaggedAcross(t *testing.T) {
+	sc := smallScenario(t, 2)
+	a := newAssessor(t, sc, nil)
+	var changes []changelog.Change
+	for _, cs := range sc.Cases {
+		changes = append(changes, cs.Change)
+	}
+	res := a.AssessAll(changes, 2)
+	all := FlaggedAcross(res)
+	if len(all) == 0 {
+		t.Fatal("no flagged assessments across the batch")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key.String() > all[i].Key.String() {
+			t.Fatal("FlaggedAcross output not sorted")
+		}
+	}
+}

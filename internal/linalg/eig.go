@@ -1,0 +1,227 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// tqliMaxIter bounds the implicit-shift QL iterations per eigenvalue.
+const tqliMaxIter = 50
+
+// TridiagEig computes all eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix with diagonal d (length n) and subdiagonal e
+// (length n−1) using the QL algorithm with implicit shifts (the "QL
+// iteration" the paper cites from Numerical Recipes, §3.2.3).
+//
+// The returned eigenvalues are in descending order; column j of the
+// returned matrix is the eigenvector for eigenvalue j, expressed in the
+// basis in which the tridiagonal matrix is given (for Lanczos output,
+// the Krylov basis). d and e are not modified.
+func TridiagEig(d, e []float64) (vals []float64, vecs *Matrix, err error) {
+	n := len(d)
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	if len(e) != n-1 && !(n == 1 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("linalg: subdiagonal length %d for order %d", len(e), n)
+	}
+	dd := make([]float64, n)
+	copy(dd, d)
+	// tqli uses e[1..n-1] with e[0] unused in NR indexing; here ee[i] is
+	// the element below dd[i], shifted so ee has length n with a zero
+	// sentinel at the end.
+	ee := make([]float64, n)
+	copy(ee, e)
+	ee[n-1] = 0
+
+	z := Identity(n)
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter == tqliMaxIter {
+				return nil, nil, fmt.Errorf("linalg: QL iteration failed to converge at index %d", l)
+			}
+			// Find a small subdiagonal element to split the matrix.
+			var m int
+			for m = l; m < n-1; m++ {
+				ddm := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-300 || math.Abs(ee[m])+ddm == ddm {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			// Form implicit shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					// Recover from underflow as in Numerical Recipes.
+					dd[i+1] -= p
+					ee[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into the eigenvector matrix.
+				for k := 0; k < n; k++ {
+					f := z.Data[k*n+i+1]
+					z.Data[k*n+i+1] = s*z.Data[k*n+i] + c*f
+					z.Data[k*n+i] = c*z.Data[k*n+i] - s*f
+				}
+			}
+			if underflow {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort eigenpairs in descending eigenvalue order.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dd[idx[a]] > dd[idx[b]] })
+	vals = make([]float64, n)
+	vecs = NewMatrix(n, n)
+	for dst, src := range idx {
+		vals[dst] = dd[src]
+		for k := 0; k < n; k++ {
+			vecs.Data[k*n+dst] = z.Data[k*n+src]
+		}
+	}
+	return vals, vecs, nil
+}
+
+// SymEig computes all eigenvalues and eigenvectors of the symmetric
+// matrix a via Householder tridiagonalization followed by TridiagEig.
+// Eigenvalues are returned in descending order; column j of the returned
+// matrix is the eigenvector for eigenvalue j. Only the lower triangle of
+// a is read.
+func SymEig(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: SymEig requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	d, e, q := tred2(a.Clone())
+	vals, tvecs, err := TridiagEig(d, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Back-transform the tridiagonal eigenvectors: columns of Q·tvecs.
+	vecs = q.Mul(tvecs)
+	return vals, vecs, nil
+}
+
+// tred2 reduces the symmetric matrix a (destroyed) to tridiagonal form
+// with Householder reflections, returning the diagonal d, the
+// subdiagonal e (length n−1) and the accumulated orthogonal
+// transformation Q such that a = Q·T·Qᵀ.
+func tred2(a *Matrix) (d, e []float64, q *Matrix) {
+	n := a.Rows
+	d = make([]float64, n)
+	eFull := make([]float64, n)
+
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a.At(i, k))
+			}
+			if scale == 0 {
+				eFull[i] = a.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					a.Set(i, k, a.At(i, k)/scale)
+					h += a.At(i, k) * a.At(i, k)
+				}
+				f := a.At(i, l)
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				eFull[i] = scale * g
+				h -= f * g
+				a.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					a.Set(j, i, a.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a.At(j, k) * a.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a.At(k, j) * a.At(i, k)
+					}
+					eFull[j] = g / h
+					f += eFull[j] * a.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a.At(i, j)
+					g = eFull[j] - hh*f
+					eFull[j] = g
+					for k := 0; k <= j; k++ {
+						a.Set(j, k, a.At(j, k)-f*eFull[k]-g*a.At(i, k))
+					}
+				}
+			}
+		} else {
+			eFull[i] = a.At(i, l)
+		}
+		d[i] = h
+	}
+
+	d[0] = 0
+	eFull[0] = 0
+	// Accumulate transformations.
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				var g float64
+				for k := 0; k <= l; k++ {
+					g += a.At(i, k) * a.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					a.Set(k, j, a.At(k, j)-g*a.At(k, i))
+				}
+			}
+		}
+		d[i] = a.At(i, i)
+		a.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			a.Set(j, i, 0)
+			a.Set(i, j, 0)
+		}
+	}
+
+	e = make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		e[i-1] = eFull[i]
+	}
+	return d, e, a
+}

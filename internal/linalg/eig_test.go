@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// applyTridiag multiplies the tridiagonal matrix (d, e) by v.
+func applyTridiag(d, e, v []float64) []float64 {
+	n := len(d)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = d[i] * v[i]
+		if i > 0 {
+			out[i] += e[i-1] * v[i-1]
+		}
+		if i < n-1 {
+			out[i] += e[i] * v[i+1]
+		}
+	}
+	return out
+}
+
+func TestTridiagEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := TridiagEig([]float64{2, 2}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Eigenvector for 3 is (1,1)/√2 up to sign.
+	v0 := vecs.Col(0)
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-12 || math.Abs(v0[0]-v0[1]) > 1e-12 {
+		t.Fatalf("v0 = %v", v0)
+	}
+}
+
+func TestTridiagEigResidualAndOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(20)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 5
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64() * 5
+		}
+		vals, vecs, err := TridiagEig(d, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			vj := vecs.Col(j)
+			tv := applyTridiag(d, e, vj)
+			for i := range tv {
+				if math.Abs(tv[i]-vals[j]*vj[i]) > 1e-8*(1+math.Abs(vals[j])) {
+					t.Fatalf("trial %d: residual at eigpair %d component %d", trial, j, i)
+				}
+			}
+		}
+		orthonormalColumns(t, vecs, 1e-9)
+		for j := 1; j < n; j++ {
+			if vals[j] > vals[j-1]+1e-12 {
+				t.Fatalf("eigenvalues not descending: %v", vals)
+			}
+		}
+	}
+}
+
+func TestTridiagEigTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 12
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	var trace float64
+	for i := range d {
+		d[i] = rng.NormFloat64()
+		trace += d[i]
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	vals, _, err := TridiagEig(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(sum-trace) > 1e-9*(1+math.Abs(trace)) {
+		t.Fatalf("trace %v != Σλ %v", trace, sum)
+	}
+}
+
+func TestTridiagEigEdgeCases(t *testing.T) {
+	vals, vecs, err := TridiagEig(nil, nil)
+	if err != nil || len(vals) != 0 || vecs.Rows != 0 {
+		t.Fatal("empty input should succeed with empty output")
+	}
+	vals, vecs, err = TridiagEig([]float64{7}, nil)
+	if err != nil || vals[0] != 7 || vecs.At(0, 0) != 1 {
+		t.Fatalf("1x1 case: vals=%v err=%v", vals, err)
+	}
+	if _, _, err := TridiagEig([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("mismatched subdiagonal length should error")
+	}
+}
+
+func TestTridiagEigZeroSubdiagonal(t *testing.T) {
+	// Already diagonal: eigenvalues are the diagonal, sorted.
+	vals, vecs, err := TridiagEig([]float64{1, 5, 3}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-14 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	orthonormalColumns(t, vecs, 1e-12)
+}
+
+func TestSymEigResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			vj := vecs.Col(j)
+			av := a.MulVec(vj)
+			for i := range av {
+				if math.Abs(av[i]-vals[j]*vj[i]) > 1e-7*(1+math.Abs(vals[j])) {
+					t.Fatalf("trial %d eigpair %d residual too large", trial, j)
+				}
+			}
+		}
+		orthonormalColumns(t, vecs, 1e-8)
+	}
+}
+
+func TestSymEigPSDNonNegative(t *testing.T) {
+	// B·Bᵀ is positive semidefinite: all eigenvalues ≥ 0 (within tol).
+	rng := rand.New(rand.NewSource(33))
+	b := randMatrix(rng, 6, 4)
+	g := b.Mul(b.T())
+	vals, _, err := SymEig(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v < -1e-9 {
+			t.Fatalf("PSD matrix has negative eigenvalue %v", v)
+		}
+	}
+	// Rank ≤ 4, so the two smallest of six eigenvalues vanish.
+	if vals[4] > 1e-9 || vals[5] > 1e-9 {
+		t.Fatalf("rank deficiency not detected: %v", vals)
+	}
+}
+
+func TestSymEigNonSquare(t *testing.T) {
+	if _, _, err := SymEig(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square input should error")
+	}
+}

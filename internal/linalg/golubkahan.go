@@ -1,0 +1,298 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVDGolubKahan computes a thin singular value decomposition using
+// Householder bidiagonalization followed by implicit-shift QR on the
+// bidiagonal (the classic Golub–Reinsch algorithm). For matrices beyond
+// roughly 20×20 it is substantially faster than the one-sided Jacobi
+// SVD, at slightly lower relative accuracy on tiny singular values;
+// BenchmarkSVDBackends quantifies the trade. Both backends satisfy the
+// same contract: A = U·diag(S)·Vᵀ with S descending.
+//
+// It returns an error if the QR iteration fails to converge (which, on
+// finite input, indicates a bug rather than a property of the matrix).
+func SVDGolubKahan(a *Matrix) (SVDResult, error) {
+	m, n := a.Rows, a.Cols
+	if m >= n {
+		return gkTall(a.Clone())
+	}
+	r, err := gkTall(a.T())
+	if err != nil {
+		return SVDResult{}, err
+	}
+	return SVDResult{U: r.V, S: r.S, V: r.U}, nil
+}
+
+// gkMaxIter bounds QR iterations per singular value.
+const gkMaxIter = 60
+
+// gkTall runs Golub–Reinsch on a tall (m ≥ n) matrix, destroying u.
+func gkTall(u *Matrix) (SVDResult, error) {
+	m, n := u.Rows, u.Cols
+	if n == 0 {
+		return SVDResult{U: NewMatrix(m, 0), S: nil, V: NewMatrix(0, 0)}, nil
+	}
+	w := make([]float64, n)
+	rv1 := make([]float64, n)
+	v := NewMatrix(n, n)
+
+	var g, scale, anorm float64
+
+	// Householder reduction to bidiagonal form.
+	for i := 0; i < n; i++ {
+		l := i + 1
+		rv1[i] = scale * g
+		g, scale = 0, 0
+		if i < m {
+			for k := i; k < m; k++ {
+				scale += math.Abs(u.At(k, i))
+			}
+			if scale != 0 {
+				var s float64
+				for k := i; k < m; k++ {
+					u.Set(k, i, u.At(k, i)/scale)
+					s += u.At(k, i) * u.At(k, i)
+				}
+				f := u.At(i, i)
+				g = -math.Copysign(math.Sqrt(s), f)
+				h := f*g - s
+				u.Set(i, i, f-g)
+				for j := l; j < n; j++ {
+					var sum float64
+					for k := i; k < m; k++ {
+						sum += u.At(k, i) * u.At(k, j)
+					}
+					f := sum / h
+					for k := i; k < m; k++ {
+						u.Set(k, j, u.At(k, j)+f*u.At(k, i))
+					}
+				}
+				for k := i; k < m; k++ {
+					u.Set(k, i, u.At(k, i)*scale)
+				}
+			}
+		}
+		w[i] = scale * g
+		g, scale = 0, 0
+		if i < m && i != n-1 {
+			for k := l; k < n; k++ {
+				scale += math.Abs(u.At(i, k))
+			}
+			if scale != 0 {
+				var s float64
+				for k := l; k < n; k++ {
+					u.Set(i, k, u.At(i, k)/scale)
+					s += u.At(i, k) * u.At(i, k)
+				}
+				f := u.At(i, l)
+				g = -math.Copysign(math.Sqrt(s), f)
+				h := f*g - s
+				u.Set(i, l, f-g)
+				for k := l; k < n; k++ {
+					rv1[k] = u.At(i, k) / h
+				}
+				for j := l; j < m; j++ {
+					var sum float64
+					for k := l; k < n; k++ {
+						sum += u.At(j, k) * u.At(i, k)
+					}
+					for k := l; k < n; k++ {
+						u.Set(j, k, u.At(j, k)+sum*rv1[k])
+					}
+				}
+				for k := l; k < n; k++ {
+					u.Set(i, k, u.At(i, k)*scale)
+				}
+			}
+		}
+		anorm = math.Max(anorm, math.Abs(w[i])+math.Abs(rv1[i]))
+	}
+
+	// Accumulation of right-hand transformations.
+	for i := n - 1; i >= 0; i-- {
+		l := i + 1
+		if i < n-1 {
+			if g != 0 {
+				for j := l; j < n; j++ {
+					// Double division avoids possible underflow.
+					v.Set(j, i, (u.At(i, j)/u.At(i, l))/g)
+				}
+				for j := l; j < n; j++ {
+					var s float64
+					for k := l; k < n; k++ {
+						s += u.At(i, k) * v.At(k, j)
+					}
+					for k := l; k < n; k++ {
+						v.Set(k, j, v.At(k, j)+s*v.At(k, i))
+					}
+				}
+			}
+			for j := l; j < n; j++ {
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		}
+		v.Set(i, i, 1)
+		g = rv1[i]
+	}
+
+	// Accumulation of left-hand transformations.
+	for i := min(m, n) - 1; i >= 0; i-- {
+		l := i + 1
+		g = w[i]
+		for j := l; j < n; j++ {
+			u.Set(i, j, 0)
+		}
+		if g != 0 {
+			g = 1 / g
+			for j := l; j < n; j++ {
+				var s float64
+				for k := l; k < m; k++ {
+					s += u.At(k, i) * u.At(k, j)
+				}
+				f := (s / u.At(i, i)) * g
+				for k := i; k < m; k++ {
+					u.Set(k, j, u.At(k, j)+f*u.At(k, i))
+				}
+			}
+			for j := i; j < m; j++ {
+				u.Set(j, i, u.At(j, i)*g)
+			}
+		} else {
+			for j := i; j < m; j++ {
+				u.Set(j, i, 0)
+			}
+		}
+		u.Set(i, i, u.At(i, i)+1)
+	}
+
+	// Diagonalization of the bidiagonal form.
+	for k := n - 1; k >= 0; k-- {
+		for its := 0; ; its++ {
+			if its == gkMaxIter {
+				return SVDResult{}, fmt.Errorf("linalg: Golub–Kahan QR failed to converge at index %d", k)
+			}
+			flag := true
+			var l, nm int
+			for l = k; l >= 0; l-- {
+				nm = l - 1
+				if math.Abs(rv1[l])+anorm == anorm {
+					flag = false
+					break
+				}
+				if math.Abs(w[nm])+anorm == anorm {
+					break
+				}
+			}
+			if flag {
+				// Cancellation of rv1[l] when w[nm] is negligible.
+				c, s := 0.0, 1.0
+				for i := l; i <= k; i++ {
+					f := s * rv1[i]
+					rv1[i] = c * rv1[i]
+					if math.Abs(f)+anorm == anorm {
+						break
+					}
+					g := w[i]
+					h := hypot(f, g)
+					w[i] = h
+					h = 1 / h
+					c = g * h
+					s = -f * h
+					for j := 0; j < m; j++ {
+						y := u.At(j, nm)
+						z := u.At(j, i)
+						u.Set(j, nm, y*c+z*s)
+						u.Set(j, i, z*c-y*s)
+					}
+				}
+			}
+			z := w[k]
+			if l == k {
+				// Convergence; make the singular value non-negative.
+				if z < 0 {
+					w[k] = -z
+					for j := 0; j < n; j++ {
+						v.Set(j, k, -v.At(j, k))
+					}
+				}
+				break
+			}
+			// Shift from the bottom 2×2 minor.
+			x := w[l]
+			nm = k - 1
+			y := w[nm]
+			g := rv1[nm]
+			h := rv1[k]
+			f := ((y-z)*(y+z) + (g-h)*(g+h)) / (2 * h * y)
+			g = hypot(f, 1)
+			f = ((x-z)*(x+z) + h*((y/(f+math.Copysign(g, f)))-h)) / x
+			// Next QR transformation.
+			c, s := 1.0, 1.0
+			for j := l; j <= nm; j++ {
+				i := j + 1
+				g := rv1[i]
+				y := w[i]
+				h := s * g
+				g = c * g
+				z := hypot(f, h)
+				rv1[j] = z
+				c = f / z
+				s = h / z
+				f = x*c + g*s
+				g = g*c - x*s
+				h = y * s
+				y *= c
+				for jj := 0; jj < n; jj++ {
+					xv := v.At(jj, j)
+					zv := v.At(jj, i)
+					v.Set(jj, j, xv*c+zv*s)
+					v.Set(jj, i, zv*c-xv*s)
+				}
+				z = hypot(f, h)
+				w[j] = z
+				if z != 0 {
+					z = 1 / z
+					c = f * z
+					s = h * z
+				}
+				f = c*g + s*y
+				x = c*y - s*g
+				for jj := 0; jj < m; jj++ {
+					yu := u.At(jj, j)
+					zu := u.At(jj, i)
+					u.Set(jj, j, yu*c+zu*s)
+					u.Set(jj, i, zu*c-yu*s)
+				}
+			}
+			rv1[l] = 0
+			rv1[k] = f
+			w[k] = x
+		}
+	}
+
+	// Sort singular values descending, permuting U and V columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return w[idx[a]] > w[idx[b]] })
+	ss := make([]float64, n)
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	for dst, src := range idx {
+		ss[dst] = w[src]
+		for i := 0; i < m; i++ {
+			us.Data[i*n+dst] = u.Data[i*n+src]
+		}
+		for i := 0; i < n; i++ {
+			vs.Data[i*n+dst] = v.Data[i*n+src]
+		}
+	}
+	return SVDResult{U: us, S: ss, V: vs}, nil
+}

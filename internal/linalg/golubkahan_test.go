@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGolubKahanReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 25; trial++ {
+		m, n := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := randMatrix(rng, m, n)
+		r, err := SVDGolubKahan(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reconstruct(r).Equalish(a, 1e-8) {
+			t.Fatalf("trial %d (%dx%d): USVᵀ != A", trial, m, n)
+		}
+		orthonormalColumns(t, r.U, 1e-8)
+		orthonormalColumns(t, r.V, 1e-8)
+		for i := 1; i < len(r.S); i++ {
+			if r.S[i] > r.S[i-1]+1e-12 {
+				t.Fatalf("S not descending: %v", r.S)
+			}
+			if r.S[i] < 0 {
+				t.Fatalf("negative singular value: %v", r.S)
+			}
+		}
+	}
+}
+
+func TestGolubKahanAgreesWithJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 2+rng.Intn(15), 2+rng.Intn(15)
+		a := randMatrix(rng, m, n)
+		gk, err := SVDGolubKahan(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc := SVD(a)
+		if len(gk.S) != len(jc.S) {
+			t.Fatalf("rank mismatch %d vs %d", len(gk.S), len(jc.S))
+		}
+		for i := range gk.S {
+			if math.Abs(gk.S[i]-jc.S[i]) > 1e-8*(1+jc.S[i]) {
+				t.Fatalf("σ[%d]: GK %v vs Jacobi %v", i, gk.S[i], jc.S[i])
+			}
+		}
+	}
+}
+
+func TestGolubKahanKnownMatrices(t *testing.T) {
+	// Diagonal.
+	r, err := SVDGolubKahan(FromRows([][]float64{{3, 0}, {0, -2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.S[0]-3) > 1e-12 || math.Abs(r.S[1]-2) > 1e-12 {
+		t.Fatalf("S = %v", r.S)
+	}
+	// Rank-1.
+	r, err = SVDGolubKahan(FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.S[1] > 1e-10 {
+		t.Fatalf("σ₂ = %v for rank-1 input", r.S[1])
+	}
+	// Zero matrix.
+	r, err = SVDGolubKahan(NewMatrix(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.S {
+		if s != 0 {
+			t.Fatalf("zero matrix S = %v", r.S)
+		}
+	}
+	// Empty.
+	if _, err := SVDGolubKahan(NewMatrix(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGolubKahanWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	a := randMatrix(rng, 3, 9)
+	r, err := SVDGolubKahan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.U.Rows != 3 || r.V.Rows != 9 || len(r.S) != 3 {
+		t.Fatalf("thin shape U %dx%d V %dx%d S %d", r.U.Rows, r.U.Cols, r.V.Rows, r.V.Cols, len(r.S))
+	}
+	if !reconstruct(r).Equalish(a, 1e-8) {
+		t.Fatal("wide reconstruction failed")
+	}
+}
+
+func TestGolubKahanIllConditioned(t *testing.T) {
+	// Singular values spanning 12 orders of magnitude.
+	a := FromRows([][]float64{
+		{1e6, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1e-6},
+	})
+	r, err := SVDGolubKahan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1e6, 1, 1e-6}
+	for i := range want {
+		if math.Abs(r.S[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("S = %v", r.S)
+		}
+	}
+}
+
+// BenchmarkSVDBackends compares the two SVD implementations across the
+// matrix sizes FUNNEL and MRLS actually use.
+func BenchmarkSVDBackends(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range []struct{ m, n int }{{9, 9}, {8, 24}, {32, 32}} {
+		a := randMatrix(rng, size.m, size.n)
+		b.Run(benchName("Jacobi", size.m, size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SVD(a)
+			}
+		})
+		b.Run(benchName("GolubKahan", size.m, size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SVDGolubKahan(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchName formats a backend/size benchmark label.
+func benchName(backend string, m, n int) string {
+	return backend + "-" + itoa(m) + "x" + itoa(n)
+}
+
+// itoa is a tiny positive-int formatter to avoid importing strconv in
+// a test helper.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatVec is an implicit symmetric linear operator: it writes A·v into
+// dst. dst and v never alias.
+type MatVec func(dst, v []float64)
+
+// LanczosResult holds the k-step Lanczos tridiagonalization of a
+// symmetric operator C with respect to a start vector: Qᵀ·C·Q = T where
+// T is tridiagonal with diagonal Alpha and subdiagonal Beta, and the
+// columns of the Krylov basis Q are orthonormal with q₁ equal to the
+// normalized start vector.
+type LanczosResult struct {
+	Alpha []float64 // diagonal of T, length k
+	Beta  []float64 // subdiagonal of T, length k−1
+	Q     *Matrix   // n×k Krylov basis (column-major vectors), nil unless requested
+	K     int       // achieved dimension (≤ requested; smaller on breakdown)
+}
+
+// Lanczos runs k steps of the Lanczos iteration for the implicit n×n
+// symmetric operator apply, starting from start (which is copied, not
+// modified). Full reorthogonalization is performed at every step — the
+// matrices here are tiny (k = 5 in FUNNEL) so the O(nk²) cost is
+// negligible and the numerical robustness matters more.
+//
+// If the Krylov space is exhausted early (beta underflow), the returned
+// result has K < k. wantBasis controls whether Q is accumulated.
+func Lanczos(apply MatVec, start []float64, k int, wantBasis bool) (LanczosResult, error) {
+	n := len(start)
+	if n == 0 {
+		return LanczosResult{}, fmt.Errorf("linalg: empty start vector")
+	}
+	if k < 1 {
+		return LanczosResult{}, fmt.Errorf("linalg: nonpositive Krylov dimension %d", k)
+	}
+	if k > n {
+		k = n
+	}
+
+	q := make([][]float64, 0, k)
+	q0 := make([]float64, n)
+	copy(q0, start)
+	if Normalize(q0) == 0 {
+		return LanczosResult{}, fmt.Errorf("linalg: zero start vector")
+	}
+	q = append(q, q0)
+
+	alpha := make([]float64, 0, k)
+	beta := make([]float64, 0, k-1)
+	w := make([]float64, n)
+
+	for j := 0; j < k; j++ {
+		apply(w, q[j])
+		a := Dot(q[j], w)
+		alpha = append(alpha, a)
+		if j == k-1 {
+			break
+		}
+		// w ← w − a·q_j − β_{j−1}·q_{j−1}
+		Axpy(-a, q[j], w)
+		if j > 0 {
+			Axpy(-beta[j-1], q[j-1], w)
+		}
+		// Full reorthogonalization (twice is enough).
+		for pass := 0; pass < 2; pass++ {
+			for _, qi := range q {
+				Axpy(-Dot(qi, w), qi, w)
+			}
+		}
+		b := Norm2(w)
+		if b < 1e-12 || math.IsNaN(b) {
+			// Krylov space exhausted: T is effectively block-complete.
+			break
+		}
+		beta = append(beta, b)
+		qn := make([]float64, n)
+		for i, wi := range w {
+			qn[i] = wi / b
+		}
+		q = append(q, qn)
+	}
+
+	res := LanczosResult{Alpha: alpha, Beta: beta, K: len(alpha)}
+	if wantBasis {
+		res.Q = NewMatrix(n, len(q))
+		for j, qj := range q {
+			res.Q.SetCol(j, qj)
+		}
+	}
+	return res, nil
+}
+
+// Hankel builds the trajectory (Hankel) matrix of the series x whose
+// columns are the δ overlapping windows of length ω ending at position
+// end−1: column c (0 ≤ c < δ) is x[end−δ−ω+1+c : end−δ+1+c].
+// In the paper's notation (Eq. 1) this is B(t) = [q(t−δ), …, q(t−1)]
+// with end = t. It panics if the series is too short.
+func Hankel(x []float64, end, omega, delta int) *Matrix {
+	lo := end - delta - omega + 1
+	if lo < 0 || end > len(x) {
+		panic(fmt.Sprintf("linalg: hankel out of range: end=%d omega=%d delta=%d len=%d", end, omega, delta, len(x)))
+	}
+	m := NewMatrix(omega, delta)
+	for c := 0; c < delta; c++ {
+		base := lo + c
+		for r := 0; r < omega; r++ {
+			m.Data[r*delta+c] = x[base+r]
+		}
+	}
+	return m
+}
+
+// GramOp returns an implicit operator for C = B·Bᵀ, evaluated as
+// B·(Bᵀ·v) without ever forming the ω×ω Gram matrix. This is the
+// "implicit inner product calculation" of §3.2.3: Lanczos only ever
+// touches C through matrix-vector products.
+func GramOp(b *Matrix) MatVec {
+	tmp := make([]float64, b.Cols)
+	return func(dst, v []float64) {
+		b.MulTVecTo(tmp, v)
+		b.MulVecTo(dst, tmp)
+	}
+}

@@ -1,0 +1,231 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseOp wraps a dense symmetric matrix as a MatVec.
+func denseOp(a *Matrix) MatVec {
+	return func(dst, v []float64) { a.MulVecTo(dst, v) }
+}
+
+// randSym returns a random n×n symmetric matrix.
+func randSym(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestLanczosTridiagRelation(t *testing.T) {
+	// Qᵀ·A·Q must equal the tridiagonal (Alpha, Beta).
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(10)
+		a := randSym(rng, n)
+		start := make([]float64, n)
+		for i := range start {
+			start[i] = rng.NormFloat64()
+		}
+		k := 3 + rng.Intn(3)
+		res, err := Lanczos(denseOp(a), start, k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := res.Q
+		tMat := q.T().Mul(a).Mul(q)
+		for i := 0; i < res.K; i++ {
+			for j := 0; j < res.K; j++ {
+				want := 0.0
+				switch {
+				case i == j:
+					want = res.Alpha[i]
+				case i == j+1:
+					want = res.Beta[j]
+				case j == i+1:
+					want = res.Beta[i]
+				}
+				if math.Abs(tMat.At(i, j)-want) > 1e-8 {
+					t.Fatalf("QᵀAQ(%d,%d) = %v, want %v", i, j, tMat.At(i, j), want)
+				}
+			}
+		}
+		orthonormalColumns(t, q, 1e-9)
+	}
+}
+
+func TestLanczosFirstBasisVectorIsStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 8
+	a := randSym(rng, n)
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = rng.NormFloat64()
+	}
+	res, err := Lanczos(denseOp(a), start, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := Norm2(start)
+	q0 := res.Q.Col(0)
+	for i := range start {
+		if math.Abs(q0[i]-start[i]/norm) > 1e-12 {
+			t.Fatal("q₁ is not the normalized start vector")
+		}
+	}
+}
+
+func TestLanczosFullDimensionRecoversEigenvalues(t *testing.T) {
+	// With k = n, eig(T) = eig(A) when the start vector has components
+	// in all eigen-directions.
+	rng := rand.New(rand.NewSource(42))
+	n := 7
+	a := randSym(rng, n)
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = 1 + rng.Float64()
+	}
+	res, err := Lanczos(denseOp(a), start, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := TridiagEig(res.Alpha, res.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Skipf("early breakdown (K=%d); acceptable for degenerate spectra", res.K)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Fatalf("eig mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLanczosBreakdownOnInvariantSubspace(t *testing.T) {
+	// Start vector is an eigenvector: Krylov space has dimension 1.
+	a := FromRows([][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}})
+	res, err := Lanczos(denseOp(a), []float64{1, 0, 0}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 || math.Abs(res.Alpha[0]-2) > 1e-14 {
+		t.Fatalf("K=%d Alpha=%v", res.K, res.Alpha)
+	}
+}
+
+func TestLanczosErrors(t *testing.T) {
+	op := denseOp(Identity(3))
+	if _, err := Lanczos(op, nil, 2, false); err == nil {
+		t.Fatal("empty start should error")
+	}
+	if _, err := Lanczos(op, []float64{0, 0, 0}, 2, false); err == nil {
+		t.Fatal("zero start should error")
+	}
+	if _, err := Lanczos(op, []float64{1, 0, 0}, 0, false); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestLanczosKClampedToN(t *testing.T) {
+	res, err := Lanczos(denseOp(Identity(2)), []float64{1, 1}, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Fatalf("K=%d exceeds matrix order", res.K)
+	}
+}
+
+func TestHankelLayout(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6}
+	// end=7, ω=3, δ=3: columns are windows ending before t.
+	h := Hankel(x, 7, 3, 3)
+	want := FromRows([][]float64{
+		{2, 3, 4},
+		{3, 4, 5},
+		{4, 5, 6},
+	})
+	if !h.Equalish(want, 0) {
+		t.Fatalf("Hankel = %+v", h)
+	}
+}
+
+func TestHankelAntiDiagonalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	h := Hankel(x, 30, 5, 6)
+	// Hankel structure: h[r][c] == h[r+1][c-1].
+	for r := 0; r < h.Rows-1; r++ {
+		for c := 1; c < h.Cols; c++ {
+			if h.At(r+1, c-1) != h.At(r, c) {
+				t.Fatalf("not Hankel at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestHankelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Hankel should panic")
+		}
+	}()
+	Hankel(make([]float64, 5), 5, 4, 4)
+}
+
+func TestGramOpMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	b := randMatrix(rng, 6, 4)
+	c := b.Mul(b.T())
+	op := GramOp(b)
+	v := make([]float64, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 6)
+	op(dst, v)
+	want := c.MulVec(v)
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("GramOp mismatch at %d", i)
+		}
+	}
+}
+
+func TestLanczosOnGramOpAgreesWithSVD(t *testing.T) {
+	// The top eigenvalue of B·Bᵀ from Lanczos must equal σ₁² from SVD.
+	rng := rand.New(rand.NewSource(45))
+	b := randMatrix(rng, 9, 9)
+	start := make([]float64, 9)
+	for i := range start {
+		start[i] = rng.NormFloat64()
+	}
+	res, err := Lanczos(GramOp(b), start, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := TridiagEig(res.Alpha, res.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := SVD(b).S[0]
+	if math.Abs(vals[0]-s1*s1) > 1e-7*(1+s1*s1) {
+		t.Fatalf("Lanczos top eig %v != σ₁² %v", vals[0], s1*s1)
+	}
+}

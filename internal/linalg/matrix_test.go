@@ -1,0 +1,199 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Data[5] != 7 {
+		t.Fatal("At/Set row-major layout broken")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows wrong: %+v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows should panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {2, 3}})
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 4, 7)
+	if !m.T().T().Equalish(m, 0) {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randMatrix(rng, 5, 5)
+	if !m.Mul(Identity(5)).Equalish(m, 1e-14) || !Identity(5).Mul(m).Equalish(m, 1e-14) {
+		t.Fatal("identity multiplication is not neutral")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !a.Mul(b).Equalish(want, 0) {
+		t.Fatalf("Mul = %v", a.Mul(b))
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 6, 4)
+	v := make([]float64, 4)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	vm := NewMatrix(4, 1)
+	vm.SetCol(0, v)
+	got := a.MulVec(v)
+	want := a.Mul(vm)
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > 1e-13 {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestMulTVecMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 6, 4)
+	v := make([]float64, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 4)
+	a.MulTVecTo(dst, v)
+	want := a.T().MulVec(v)
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 1e-13 {
+			t.Fatalf("MulTVecTo mismatch at %d: %v vs %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetCol(1, []float64{1, 2, 3})
+	got := m.Col(1)
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("Col = %v", got)
+		}
+	}
+}
+
+func TestDotNormAxpy(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-15 {
+		t.Fatal("Norm2(3,4) != 5")
+	}
+	y := []float64{1, 1, 1}
+	Axpy(2, a, y)
+	for i, want := range []float64{3, 5, 7} {
+		if y[i] != want {
+			t.Fatalf("Axpy = %v", y)
+		}
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	v := []float64{1e200, 1e200}
+	if got := Norm2(v); math.IsInf(got, 0) || math.Abs(got-1e200*math.Sqrt2) > 1e186 {
+		t.Fatalf("Norm2 overflow-unsafe: %v", got)
+	}
+	if Norm2(nil) != 0 || Norm2([]float64{0, 0}) != 0 {
+		t.Fatal("Norm2 of zero vector should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if n != 5 || math.Abs(Norm2(v)-1) > 1e-15 {
+		t.Fatalf("Normalize: n=%v v=%v", n, v)
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("Normalize of zero vector should return 0")
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch should panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		return a.Mul(b).T().Equalish(b.T().Mul(a.T()), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cauchy–Schwarz |⟨a,b⟩| ≤ ‖a‖‖b‖.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := make([]float64, 0, len(raw)/2)
+		b := make([]float64, 0, len(raw)/2)
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+			if i%2 == 0 {
+				a = append(a, x)
+			} else {
+				b = append(b, x)
+			}
+		}
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)*(1+1e-12)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

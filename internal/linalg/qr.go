@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRResult is a Householder QR factorization A = Q·R with A m×n
+// (m ≥ n), Q m×n with orthonormal columns and R n×n upper triangular.
+type QRResult struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QR computes the thin QR factorization of a by Householder
+// reflections. It returns an error for m < n (the least-squares solver
+// below is the only consumer and needs full column rank geometry).
+func QR(a *Matrix) (QRResult, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return QRResult{}, fmt.Errorf("linalg: QR requires rows ≥ cols, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	// Accumulate Q implicitly as the product of Householder reflectors
+	// applied to the identity.
+	q := Identity(m)
+
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			continue
+		}
+		alpha := -math.Copysign(norm, r.At(k, k))
+		var vnorm2 float64
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I − 2vvᵀ/‖v‖² to R (columns k..n−1).
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i])
+			}
+		}
+		// Apply H to Q from the right (accumulating Q = H₁H₂···).
+		for rowi := 0; rowi < m; rowi++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += q.At(rowi, i) * v[i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				q.Set(rowi, i, q.At(rowi, i)-f*v[i])
+			}
+		}
+	}
+
+	// Thin forms.
+	thinQ := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		copy(thinQ.Data[i*n:(i+1)*n], q.Data[i*m:i*m+n])
+	}
+	thinR := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			thinR.Set(i, j, r.At(i, j))
+		}
+	}
+	return QRResult{Q: thinQ, R: thinR}, nil
+}
+
+// SolveLeastSquares returns the minimum-residual solution x of
+// A·x ≈ b via QR: R·x = Qᵀ·b by back substitution. It returns an error
+// when A is (numerically) column-rank-deficient.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: b length %d != rows %d", len(b), a.Rows)
+	}
+	qr, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Cols
+	// Rank check against the largest diagonal magnitude.
+	var maxDiag float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(qr.R.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return nil, fmt.Errorf("linalg: zero design matrix")
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(qr.R.At(i, i)) < 1e-12*maxDiag {
+			return nil, fmt.Errorf("linalg: rank-deficient design matrix (column %d)", i)
+		}
+	}
+	// y = Qᵀ b.
+	y := make([]float64, n)
+	qr.Q.MulTVecTo(y, b)
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr.R.At(i, j) * x[j]
+		}
+		x[i] = s / qr.R.At(i, i)
+	}
+	return x, nil
+}

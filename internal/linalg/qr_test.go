@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(12)
+		n := 1 + rng.Intn(m)
+		a := randMatrix(rng, m, n)
+		qr, err := QR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !qr.Q.Mul(qr.R).Equalish(a, 1e-10) {
+			t.Fatalf("trial %d: QR != A", trial)
+		}
+		orthonormalColumns(t, qr.Q, 1e-10)
+		// R upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if qr.R.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	if _, err := QR(NewMatrix(2, 3)); err == nil {
+		t.Fatal("wide QR should error")
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system: exact solve.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = a + b·t to noisy points; the normal-equation residual
+	// must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(301))
+	n := 50
+	a := NewMatrix(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, float64(i))
+		b[i] = 3 + 0.5*float64(i) + 0.01*rng.NormFloat64()
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 0.05 || math.Abs(x[1]-0.5) > 0.005 {
+		t.Fatalf("fit = %v", x)
+	}
+	// Orthogonality of the residual: Aᵀ(b − Ax) ≈ 0.
+	res := make([]float64, n)
+	ax := a.MulVec(x)
+	for i := range res {
+		res[i] = b[i] - ax[i]
+	}
+	g := make([]float64, 2)
+	a.MulTVecTo(g, res)
+	if math.Abs(g[0]) > 1e-9 || math.Abs(g[1]) > 1e-7 {
+		t.Fatalf("residual not orthogonal: %v", g)
+	}
+}
+
+func TestSolveLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}) // rank 1
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("rank-deficient solve should error")
+	}
+	if _, err := SolveLeastSquares(NewMatrix(3, 2), []float64{0, 0, 0}); err == nil {
+		t.Fatal("zero matrix should error")
+	}
+	if _, err := SolveLeastSquares(FromRows([][]float64{{1}}), []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}

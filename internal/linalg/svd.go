@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ
+// with singular values in descending order, U of size m×r and V of size
+// n×r where r = min(m, n).
+type SVDResult struct {
+	U *Matrix   // left singular vectors, one per column
+	S []float64 // singular values, descending
+	V *Matrix   // right singular vectors, one per column
+}
+
+// jacobiMaxSweeps bounds the number of one-sided Jacobi sweeps. Typical
+// matrices converge in well under 30 sweeps; the bound only guards
+// against pathological input.
+const jacobiMaxSweeps = 60
+
+// SVD computes a thin singular value decomposition of a using one-sided
+// Jacobi rotations. Jacobi SVD is slower than Golub–Kahan for large
+// matrices but simple, unconditionally convergent and highly accurate —
+// exactly the trade-off the paper attributes to full SVD when motivating
+// the IKA fast path.
+func SVD(a *Matrix) SVDResult {
+	m, n := a.Rows, a.Cols
+	if m >= n {
+		return svdTall(a.Clone())
+	}
+	// For wide matrices decompose the transpose and swap U/V.
+	r := svdTall(a.T())
+	return SVDResult{U: r.V, S: r.S, V: r.U}
+}
+
+// svdTall runs one-sided Jacobi on a tall (m ≥ n) matrix, destroying w.
+func svdTall(w *Matrix) SVDResult {
+	m, n := w.Rows, w.Cols
+	v := Identity(n)
+	if n == 0 {
+		return SVDResult{U: NewMatrix(m, 0), S: nil, V: v}
+	}
+
+	// Frobenius-based convergence threshold for off-diagonal inner
+	// products.
+	var fro float64
+	for _, x := range w.Data {
+		fro += x * x
+	}
+	eps := 1e-15 * fro
+	if eps == 0 {
+		eps = 1e-300
+	}
+
+	colDot := func(p, q int) (app, aqq, apq float64) {
+		for i := 0; i < m; i++ {
+			wp := w.Data[i*n+p]
+			wq := w.Data[i*n+q]
+			app += wp * wp
+			aqq += wq * wq
+			apq += wp * wq
+		}
+		return
+	}
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				app, aqq, apq := colDot(p, q)
+				if apq*apq <= eps*1e-4 || (app == 0 && aqq == 0) {
+					continue
+				}
+				// Skip rotations that cannot matter numerically.
+				if math.Abs(apq) <= 1e-15*math.Sqrt(app*aqq) {
+					continue
+				}
+				converged = false
+				// Compute the Jacobi rotation that annihilates the
+				// (p,q) entry of WᵀW.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				// Apply to columns p, q of W and V.
+				for i := 0; i < m; i++ {
+					wp := w.Data[i*n+p]
+					wq := w.Data[i*n+q]
+					w.Data[i*n+p] = c*wp - s*wq
+					w.Data[i*n+q] = s*wp + c*wq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.Data[i*n+p]
+					vq := v.Data[i*n+q]
+					v.Data[i*n+p] = c*vp - s*vq
+					v.Data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalized columns form U.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			x := w.Data[i*n+j]
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Data[i*n+j] = w.Data[i*n+j] / norm
+			}
+		} else {
+			// Zero singular value: leave the U column zero; it is
+			// completed to an orthonormal basis only if a caller needs
+			// it, which FUNNEL does not.
+			u.Data[j*n+j%n] = 0
+		}
+	}
+
+	// Sort descending by singular value, permuting U and V columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	ss := make([]float64, n)
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	for dst, src := range idx {
+		ss[dst] = s[src]
+		for i := 0; i < m; i++ {
+			us.Data[i*n+dst] = u.Data[i*n+src]
+		}
+		for i := 0; i < n; i++ {
+			vs.Data[i*n+dst] = v.Data[i*n+src]
+		}
+	}
+	return SVDResult{U: us, S: ss, V: vs}
+}
+
+// TopLeftSingularVectors returns the first k left singular vectors of a
+// as the columns of an a.Rows×k matrix. It panics if k exceeds
+// min(a.Rows, a.Cols).
+func TopLeftSingularVectors(a *Matrix, k int) *Matrix {
+	r := SVD(a)
+	if k > len(r.S) {
+		panic("linalg: k exceeds rank bound")
+	}
+	out := NewMatrix(a.Rows, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < a.Rows; i++ {
+			out.Data[i*k+j] = r.U.Data[i*r.U.Cols+j]
+		}
+	}
+	return out
+}

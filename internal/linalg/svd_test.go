@@ -1,0 +1,178 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// reconstruct computes U·diag(S)·Vᵀ from an SVDResult.
+func reconstruct(r SVDResult) *Matrix {
+	us := r.U.Clone()
+	for j, s := range r.S {
+		for i := 0; i < us.Rows; i++ {
+			us.Data[i*us.Cols+j] *= s
+		}
+	}
+	return us.Mul(r.V.T())
+}
+
+// orthonormalColumns checks that the columns of m are orthonormal,
+// skipping columns that are entirely zero (rank-deficient fill).
+func orthonormalColumns(t *testing.T, m *Matrix, tol float64) {
+	t.Helper()
+	for j := 0; j < m.Cols; j++ {
+		cj := m.Col(j)
+		nj := Norm2(cj)
+		if nj == 0 {
+			continue
+		}
+		if math.Abs(nj-1) > tol {
+			t.Fatalf("column %d norm = %v", j, nj)
+		}
+		for k := j + 1; k < m.Cols; k++ {
+			ck := m.Col(k)
+			if Norm2(ck) == 0 {
+				continue
+			}
+			if d := math.Abs(Dot(cj, ck)); d > tol {
+				t.Fatalf("columns %d,%d not orthogonal: %v", j, k, d)
+			}
+		}
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, -2}})
+	r := SVD(a)
+	if math.Abs(r.S[0]-3) > 1e-12 || math.Abs(r.S[1]-2) > 1e-12 {
+		t.Fatalf("S = %v, want [3 2]", r.S)
+	}
+	if !reconstruct(r).Equalish(a, 1e-12) {
+		t.Fatal("reconstruction failed")
+	}
+}
+
+func TestSVDReconstructionTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 3+rng.Intn(15), 1+rng.Intn(8)
+		if m < n {
+			m, n = n, m
+		}
+		a := randMatrix(rng, m, n)
+		r := SVD(a)
+		if !reconstruct(r).Equalish(a, 1e-9) {
+			t.Fatalf("trial %d: USVᵀ != A", trial)
+		}
+		orthonormalColumns(t, r.U, 1e-9)
+		orthonormalColumns(t, r.V, 1e-9)
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(r.S))) {
+			t.Fatalf("singular values not descending: %v", r.S)
+		}
+		for _, s := range r.S {
+			if s < 0 {
+				t.Fatalf("negative singular value: %v", r.S)
+			}
+		}
+	}
+}
+
+func TestSVDWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randMatrix(rng, 3, 8)
+	r := SVD(a)
+	if r.U.Rows != 3 || r.V.Rows != 8 || len(r.S) != 3 {
+		t.Fatalf("thin dimensions wrong: U %dx%d V %dx%d S %d",
+			r.U.Rows, r.U.Cols, r.V.Rows, r.V.Cols, len(r.S))
+	}
+	if !reconstruct(r).Equalish(a, 1e-9) {
+		t.Fatal("wide reconstruction failed")
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value must vanish.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	r := SVD(a)
+	if r.S[1] > 1e-10 {
+		t.Fatalf("rank-1 matrix has σ₂ = %v", r.S[1])
+	}
+	if !reconstruct(r).Equalish(a, 1e-9) {
+		t.Fatal("rank-deficient reconstruction failed")
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	a := NewMatrix(4, 3)
+	r := SVD(a)
+	for _, s := range r.S {
+		if s != 0 {
+			t.Fatalf("zero matrix S = %v", r.S)
+		}
+	}
+}
+
+func TestSVDSingularValuesMatchEigen(t *testing.T) {
+	// σᵢ² must equal the eigenvalues of AᵀA.
+	rng := rand.New(rand.NewSource(22))
+	a := randMatrix(rng, 10, 4)
+	r := SVD(a)
+	gram := a.T().Mul(a)
+	vals, _, err := SymEig(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.S {
+		if math.Abs(r.S[i]*r.S[i]-vals[i]) > 1e-8*(1+vals[i]) {
+			t.Fatalf("σ²=%v eig=%v at %d", r.S[i]*r.S[i], vals[i], i)
+		}
+	}
+}
+
+func TestSVDFrobeniusInvariant(t *testing.T) {
+	// ‖A‖_F² = Σσᵢ².
+	rng := rand.New(rand.NewSource(23))
+	a := randMatrix(rng, 7, 5)
+	var fro float64
+	for _, x := range a.Data {
+		fro += x * x
+	}
+	var ssq float64
+	for _, s := range SVD(a).S {
+		ssq += s * s
+	}
+	if math.Abs(fro-ssq) > 1e-9*(1+fro) {
+		t.Fatalf("Frobenius %v != Σσ² %v", fro, ssq)
+	}
+}
+
+func TestTopLeftSingularVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randMatrix(rng, 9, 6)
+	u2 := TopLeftSingularVectors(a, 2)
+	if u2.Rows != 9 || u2.Cols != 2 {
+		t.Fatalf("shape %dx%d", u2.Rows, u2.Cols)
+	}
+	orthonormalColumns(t, u2, 1e-9)
+	full := SVD(a)
+	for j := 0; j < 2; j++ {
+		// Columns may differ by sign.
+		c, f := u2.Col(j), full.U.Col(j)
+		d1, d2 := 0.0, 0.0
+		for i := range c {
+			d1 += (c[i] - f[i]) * (c[i] - f[i])
+			d2 += (c[i] + f[i]) * (c[i] + f[i])
+		}
+		if math.Min(d1, d2) > 1e-16 {
+			t.Fatalf("top vector %d mismatch", j)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > rank bound should panic")
+		}
+	}()
+	TopLeftSingularVectors(a, 7)
+}

@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// IngestServer is the inbound half of the substrate: per-server agents
+// dial in and stream measurement frames (the same framing the
+// subscription push uses), which are appended to the store. Together
+// with Server this completes §2.2's dataflow — agents publish, the
+// centralized store aggregates, downstream consumers subscribe.
+type IngestServer struct {
+	store *Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	handlers sync.WaitGroup
+}
+
+// NewIngestServer wraps a store for network ingestion.
+func NewIngestServer(store *Store) *IngestServer { return &IngestServer{store: store} }
+
+// Listen binds to addr and starts accepting publishers in the
+// background, returning the bound address.
+func (s *IngestServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.handlers.Add(1)
+	go func() {
+		defer s.handlers.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.handlers.Add(1)
+			go func() {
+				defer s.handlers.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops accepting; active publisher connections end when their
+// peers disconnect.
+func (s *IngestServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// handle consumes measurement frames from one publisher until the
+// connection drops or a malformed frame arrives.
+func (s *IngestServer) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		m, err := DecodeMeasurement(payload)
+		if err != nil {
+			return // protocol violation: drop the publisher
+		}
+		s.store.Append(m)
+	}
+}
+
+// Publisher is the agent-side connection to an IngestServer. It is not
+// safe for concurrent use; one publisher per agent goroutine.
+type Publisher struct {
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// DialPublisher connects an agent to the ingest endpoint.
+func DialPublisher(addr string) (*Publisher, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{conn: conn, w: bufio.NewWriter(conn)}, nil
+}
+
+// Publish sends one measurement. Frames are buffered; call Flush at
+// bin boundaries (the agent cadence) to bound latency.
+func (p *Publisher) Publish(m Measurement) error {
+	frame, err := EncodeMeasurement(m)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(p.w, frame)
+}
+
+// Flush pushes buffered frames to the wire.
+func (p *Publisher) Flush() error { return p.w.Flush() }
+
+// Close flushes and disconnects.
+func (p *Publisher) Close() error {
+	flushErr := p.w.Flush()
+	closeErr := p.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

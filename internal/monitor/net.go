@@ -1,0 +1,203 @@
+package monitor
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/topo"
+)
+
+// Server pushes a Store's measurement stream to TCP subscribers. Each
+// client sends one subscribe frame naming key prefixes; the server then
+// streams every matching measurement as it is appended to the store.
+type Server struct {
+	store *Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	handlers sync.WaitGroup
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server { return &Server{store: store} }
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
+// accepting in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.handlers.Add(1)
+	go func() {
+		defer s.handlers.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.handlers.Add(1)
+			go func() {
+				defer s.handlers.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops accepting, disconnects clients (by closing the listener;
+// per-connection subscriptions are cancelled as their handlers exit)
+// and waits for handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	// Handlers exit when their client connections drop or their write
+	// fails; closing client conns is the client's job. To unblock
+	// handlers waiting on subscriptions we rely on cancel-on-error in
+	// handle; tests close the client side.
+	return err
+}
+
+// Wait blocks until all handlers have exited (after Close and client
+// disconnects).
+func (s *Server) Wait() { s.handlers.Wait() }
+
+// handle serves one subscriber connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return
+	}
+	prefixes, err := DecodeSubscribe(payload)
+	if err != nil {
+		return
+	}
+	filter := prefixFilter(prefixes)
+	// A deep buffer lets bursty producers (simulations replaying days
+	// of data on a virtual clock) run far ahead of the TCP writer
+	// without drop-oldest losses.
+	ch, cancel := s.store.Subscribe(filter, 1<<16)
+	defer cancel()
+
+	// Detect client disconnect: a subscriber never sends again, so any
+	// read completing (EOF or data) ends the session.
+	done := make(chan struct{})
+	go func() {
+		_, _ = r.ReadByte()
+		close(done)
+	}()
+
+	w := bufio.NewWriter(conn)
+	for {
+		select {
+		case <-done:
+			return
+		case m, ok := <-ch:
+			if !ok {
+				return
+			}
+			frame, err := EncodeMeasurement(m)
+			if err != nil {
+				continue
+			}
+			if err := WriteFrame(w, frame); err != nil {
+				return
+			}
+			// Flush eagerly when the channel has drained so
+			// subscribers see measurements promptly.
+			if len(ch) == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// prefixFilter builds a key filter from string prefixes; no prefixes
+// means match-all.
+func prefixFilter(prefixes []string) func(topo.KPIKey) bool {
+	if len(prefixes) == 0 {
+		return nil
+	}
+	return func(k topo.KPIKey) bool {
+		ks := k.String()
+		for _, p := range prefixes {
+			if strings.HasPrefix(ks, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Client receives pushed measurements from a Server.
+type Client struct {
+	conn net.Conn
+	ch   chan Measurement
+}
+
+// Dial connects to a monitor server and subscribes to the given key
+// prefixes (none = everything). Measurements arrive on C until the
+// connection drops or Close is called.
+func Dial(addr string, prefixes ...string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := EncodeSubscribe(prefixes)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := WriteFrame(conn, sub); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{conn: conn, ch: make(chan Measurement, 1<<16)}
+	go c.readLoop()
+	return c, nil
+}
+
+// C is the stream of received measurements; it closes when the
+// connection ends.
+func (c *Client) C() <-chan Measurement { return c.ch }
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop decodes measurement frames until the connection drops.
+func (c *Client) readLoop() {
+	defer close(c.ch)
+	r := bufio.NewReader(c.conn)
+	for {
+		payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		m, err := DecodeMeasurement(payload)
+		if err != nil {
+			return
+		}
+		c.ch <- m
+	}
+}

@@ -1,0 +1,170 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// Snapshot format: a durable dump of a Store, so a FUNNEL deployment
+// can restart without losing the 30-day baselines the seasonal DiD
+// needs (§3.2.5). Layout (all integers big-endian):
+//
+//	magic "FNLS" | version uint16 | startUnixNano int64 |
+//	stepNanos int64 | seriesCount uint32, then per series:
+//	  scope uint8 | entityLen uint16 | entity | metricLen uint16 |
+//	  metric | binCount uint32 | binCount × float64 bits
+//
+// NaN gaps are stored as-is (quiet NaN bits round-trip exactly).
+const (
+	snapshotMagic   = "FNLS"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot dumps the store's full contents. The whole dump runs
+// under the read lock so it is a consistent cut even against concurrent
+// appends and prunes.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	binary.BigEndian.PutUint16(scratch[:2], snapshotVersion)
+	if _, err := bw.Write(scratch[:2]); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(scratch[:], uint64(s.start.UnixNano()))
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(scratch[:], uint64(s.step))
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(s.series)))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	for key, buf := range s.series {
+		hdr := []byte{byte(key.Scope)}
+		var err error
+		if hdr, err = appendString(hdr, key.Entity); err != nil {
+			return err
+		}
+		if hdr, err = appendString(hdr, key.Metric); err != nil {
+			return err
+		}
+		if _, err := bw.Write(hdr); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(buf)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		for _, v := range buf {
+			binary.BigEndian.PutUint64(scratch[:], math.Float64bits(v))
+			if _, err := bw.Write(scratch[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a Store from a snapshot stream.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("monitor: bad snapshot magic %q", magic)
+	}
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+		return nil, err
+	}
+	if v := binary.BigEndian.Uint16(scratch[:2]); v != snapshotVersion {
+		return nil, fmt.Errorf("monitor: unsupported snapshot version %d", v)
+	}
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return nil, err
+	}
+	start := time.Unix(0, int64(binary.BigEndian.Uint64(scratch[:]))).UTC()
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return nil, err
+	}
+	step := time.Duration(binary.BigEndian.Uint64(scratch[:]))
+	if step <= 0 {
+		return nil, fmt.Errorf("monitor: bad snapshot step %v", step)
+	}
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(scratch[:4])
+
+	store := NewStore(start, step)
+	for i := uint32(0); i < count; i++ {
+		var b [1]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		scope := topo.Scope(b[0])
+		if scope != topo.ScopeServer && scope != topo.ScopeInstance && scope != topo.ScopeService {
+			return nil, fmt.Errorf("monitor: bad snapshot scope %d", b[0])
+		}
+		entity, err := readSnapshotString(br)
+		if err != nil {
+			return nil, err
+		}
+		metric, err := readSnapshotString(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, err
+		}
+		bins := binary.BigEndian.Uint32(scratch[:4])
+		// Do not pre-allocate from the untrusted count: a corrupt or
+		// malicious header could demand gigabytes. Appending grows the
+		// buffer only as fast as actual payload arrives, so truncated
+		// input fails at ReadFull long before memory does.
+		cap0 := bins
+		if cap0 > 1<<16 {
+			cap0 = 1 << 16
+		}
+		buf := make([]float64, 0, cap0)
+		for j := uint32(0); j < bins; j++ {
+			if _, err := io.ReadFull(br, scratch[:]); err != nil {
+				return nil, err
+			}
+			buf = append(buf, math.Float64frombits(binary.BigEndian.Uint64(scratch[:])))
+		}
+		store.series[topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}] = buf
+	}
+	return store, nil
+}
+
+// readSnapshotString reads a uint16-length-prefixed string from br.
+func readSnapshotString(br *bufio.Reader) (string, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

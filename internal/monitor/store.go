@@ -1,0 +1,263 @@
+// Package monitor is the KPI collection substrate FUNNEL subscribes to.
+// It substitutes for the paper's Hadoop-based centralized database
+// (§2.2): per-server agents emit one measurement per KPI per 1-minute
+// bin, a concurrent in-memory Store keeps the binned series, and a TCP
+// push protocol (length-prefixed binary frames) delivers subscribed
+// measurements to downstream consumers "within one second" of
+// collection, exactly as the paper's subscription tool does.
+package monitor
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/topo"
+)
+
+// Measurement is one KPI sample.
+type Measurement struct {
+	Key topo.KPIKey
+	T   time.Time
+	V   float64
+}
+
+// Store is a concurrency-safe, append-mostly KPI time-series store with
+// fixed binning. Bins without a measurement read as NaN.
+type Store struct {
+	start time.Time
+	step  time.Duration
+
+	mu     sync.RWMutex
+	series map[topo.KPIKey][]float64
+	subs   map[int]*subscription
+	nextID int
+}
+
+// subscription is one registered measurement listener.
+type subscription struct {
+	ch     chan Measurement
+	filter func(topo.KPIKey) bool
+}
+
+// NewStore returns a store binning measurements at the given step from
+// the given epoch. Step 0 means timeseries.DefaultStep (1 minute).
+func NewStore(start time.Time, step time.Duration) *Store {
+	if step <= 0 {
+		step = timeseries.DefaultStep
+	}
+	return &Store{
+		start:  start,
+		step:   step,
+		series: make(map[topo.KPIKey][]float64),
+		subs:   make(map[int]*subscription),
+	}
+}
+
+// Start returns the store's epoch (which Prune advances).
+func (s *Store) Start() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.start
+}
+
+// Step returns the bin width.
+func (s *Store) Step() time.Duration { return s.step }
+
+// Append records a measurement, growing the key's series as needed
+// (intermediate bins are NaN). Measurements before the epoch are
+// dropped. A second measurement in the same bin overwrites the first
+// (agents emit one sample per bin). Subscribers whose filter matches
+// receive the measurement; a subscriber that has fallen behind by more
+// than its buffer loses the oldest deliveries rather than blocking the
+// ingest path.
+func (s *Store) Append(m Measurement) {
+	s.mu.Lock()
+	if m.T.Before(s.start) {
+		s.mu.Unlock()
+		return
+	}
+	idx := int(m.T.Sub(s.start) / s.step)
+	buf := s.series[m.Key]
+	for len(buf) <= idx {
+		buf = append(buf, math.NaN())
+	}
+	buf[idx] = m.V
+	s.series[m.Key] = buf
+	// Deliver to subscribers under the read of subs; the channel sends
+	// are non-blocking.
+	for _, sub := range s.subs {
+		if sub.filter != nil && !sub.filter(m.Key) {
+			continue
+		}
+		select {
+		case sub.ch <- m:
+		default:
+			// Drop-oldest: make room and retry once.
+			select {
+			case <-sub.ch:
+			default:
+			}
+			select {
+			case sub.ch <- m:
+			default:
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Series returns a copy of the key's series from the store epoch
+// through the last appended bin, and whether the key exists. Gaps are
+// NaN; callers typically FillGaps before analysis.
+func (s *Store) Series(key topo.KPIKey) (*timeseries.Series, bool) {
+	s.mu.RLock()
+	start := s.start
+	buf, ok := s.series[key]
+	var cp []float64
+	if ok {
+		cp = make([]float64, len(buf))
+		copy(cp, buf)
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return timeseries.New(start, s.step, cp), true
+}
+
+// Range returns a copy of the key's bins covering [from, to), clamped
+// to the stored span. ok is false when the key is unknown or the
+// clamped range is empty.
+func (s *Store) Range(key topo.KPIKey, from, to time.Time) (*timeseries.Series, bool) {
+	full, ok := s.Series(key)
+	if !ok {
+		return nil, false
+	}
+	lo := 0
+	if from.After(full.Start) {
+		lo = int(from.Sub(full.Start) / s.step)
+	}
+	hi := full.Len()
+	if to.Before(full.End()) {
+		hi = int(to.Sub(full.Start)+s.step-1) / int(s.step)
+		if hi > full.Len() {
+			hi = full.Len()
+		}
+	}
+	if lo >= hi || lo >= full.Len() {
+		return nil, false
+	}
+	return full.Slice(lo, hi), true
+}
+
+// Keys returns every stored KPI key, in unspecified order.
+func (s *Store) Keys() []topo.KPIKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]topo.KPIKey, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the number of stored series.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
+}
+
+// Prune drops all bins before the given time, advancing the store's
+// epoch to the containing bin boundary. Long-running deployments use it
+// to bound memory at (history window) × (KPI count): the paper's
+// seasonal DiD needs 30 days of baseline (§3.2.5), so a deployment
+// prunes to now − 31 days once per day. Pruning to a time at or before
+// the current epoch is a no-op.
+func (s *Store) Prune(before time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !before.After(s.start) {
+		return
+	}
+	drop := int(before.Sub(s.start) / s.step)
+	if drop <= 0 {
+		return
+	}
+	for key, buf := range s.series {
+		if drop >= len(buf) {
+			delete(s.series, key)
+			continue
+		}
+		kept := make([]float64, len(buf)-drop)
+		copy(kept, buf[drop:])
+		s.series[key] = kept
+	}
+	s.start = s.start.Add(time.Duration(drop) * s.step)
+}
+
+// Stats summarizes a store for introspection and capacity planning.
+type Stats struct {
+	// SeriesCount is the number of distinct KPI series.
+	SeriesCount int
+	// Bins is the total number of stored bins across all series.
+	Bins int
+	// ApproxBytes estimates the resident size of the stored values
+	// (8 bytes per bin, excluding map and key overhead).
+	ApproxBytes int64
+	// Start and LastBin bound the stored span; LastBin is −1 for an
+	// empty store.
+	Start   time.Time
+	LastBin int
+}
+
+// Stats returns a snapshot of the store's size.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{SeriesCount: len(s.series), Start: s.start, LastBin: -1}
+	for _, buf := range s.series {
+		st.Bins += len(buf)
+		if len(buf)-1 > st.LastBin {
+			st.LastBin = len(buf) - 1
+		}
+	}
+	st.ApproxBytes = int64(st.Bins) * 8
+	return st
+}
+
+// Subscribers returns the number of active subscriptions. Producers
+// that must not race ahead of late-binding consumers (e.g. a TCP
+// subscriber whose subscribe frame is still in flight) can wait on it.
+func (s *Store) Subscribers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.subs)
+}
+
+// Subscribe registers a listener for measurements whose key passes the
+// filter (nil matches everything). buffer is the channel capacity
+// (min 1). Cancel releases the subscription; the channel is closed by
+// Cancel and must not be closed by the caller.
+func (s *Store) Subscribe(filter func(topo.KPIKey) bool, buffer int) (ch <-chan Measurement, cancel func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &subscription{ch: make(chan Measurement, buffer), filter: filter}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = sub
+	s.mu.Unlock()
+	var once sync.Once
+	return sub.ch, func() {
+		once.Do(func() {
+			s.mu.Lock()
+			delete(s.subs, id)
+			s.mu.Unlock()
+			close(sub.ch)
+		})
+	}
+}

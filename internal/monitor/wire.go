@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// Wire protocol: every frame is a uint32 big-endian payload length
+// followed by the payload. The first payload byte is the frame type.
+//
+//	measurement frame (type 0x01), server → client:
+//	  scope uint8 | entityLen uint16 | entity | metricLen uint16 |
+//	  metric | unixNano int64 | value float64 (IEEE 754 bits)
+//	subscribe frame (type 0x02), client → server:
+//	  count uint16, then count × (prefixLen uint16 | prefix)
+//	  A measurement matches when any prefix is a prefix of the
+//	  KPIKey.String() form; zero prefixes match everything.
+//
+// Strings are raw bytes (the system uses ASCII identifiers). Frames are
+// capped at maxFrame to bound allocation from a misbehaving peer.
+const (
+	frameMeasurement = 0x01
+	frameSubscribe   = 0x02
+	maxFrame         = 1 << 16
+)
+
+// appendString writes a uint16-length-prefixed string.
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("monitor: string too long (%d bytes)", len(s))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+// readString consumes a uint16-length-prefixed string from b.
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("monitor: truncated string header")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("monitor: truncated string body (want %d, have %d)", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// EncodeMeasurement renders a measurement frame payload (without the
+// length prefix).
+func EncodeMeasurement(m Measurement) ([]byte, error) {
+	b := make([]byte, 0, 32+len(m.Key.Entity)+len(m.Key.Metric))
+	b = append(b, frameMeasurement, byte(m.Key.Scope))
+	var err error
+	if b, err = appendString(b, m.Key.Entity); err != nil {
+		return nil, err
+	}
+	if b, err = appendString(b, m.Key.Metric); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(m.T.UnixNano()))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.V))
+	return b, nil
+}
+
+// DecodeMeasurement parses a measurement frame payload.
+func DecodeMeasurement(b []byte) (Measurement, error) {
+	var m Measurement
+	if len(b) < 2 || b[0] != frameMeasurement {
+		return m, fmt.Errorf("monitor: not a measurement frame")
+	}
+	scope := topo.Scope(b[1])
+	if scope != topo.ScopeServer && scope != topo.ScopeInstance && scope != topo.ScopeService {
+		return m, fmt.Errorf("monitor: bad scope %d", b[1])
+	}
+	b = b[2:]
+	var err error
+	var entity, metric string
+	if entity, b, err = readString(b); err != nil {
+		return m, err
+	}
+	if metric, b, err = readString(b); err != nil {
+		return m, err
+	}
+	if len(b) != 16 {
+		return m, fmt.Errorf("monitor: bad measurement tail length %d", len(b))
+	}
+	nanos := int64(binary.BigEndian.Uint64(b[:8]))
+	bits := binary.BigEndian.Uint64(b[8:])
+	m.Key = topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
+	m.T = time.Unix(0, nanos).UTC()
+	m.V = math.Float64frombits(bits)
+	return m, nil
+}
+
+// EncodeSubscribe renders a subscribe frame payload for the given
+// key-string prefixes.
+func EncodeSubscribe(prefixes []string) ([]byte, error) {
+	if len(prefixes) > math.MaxUint16 {
+		return nil, fmt.Errorf("monitor: too many prefixes")
+	}
+	b := []byte{frameSubscribe}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(prefixes)))
+	var err error
+	for _, p := range prefixes {
+		if b, err = appendString(b, p); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeSubscribe parses a subscribe frame payload.
+func DecodeSubscribe(b []byte) ([]string, error) {
+	if len(b) < 3 || b[0] != frameSubscribe {
+		return nil, fmt.Errorf("monitor: not a subscribe frame")
+	}
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	b = b[3:]
+	out := make([]string, 0, n)
+	var err error
+	var p string
+	for i := 0; i < n; i++ {
+		if p, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("monitor: %d trailing bytes in subscribe frame", len(b))
+	}
+	return out, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("monitor: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting oversized
+// frames.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("monitor: oversized frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,158 @@
+// Package report renders FUNNEL assessment reports for the two
+// consumers a deployment has: the operations team (fixed-width text,
+// step 12 of Fig. 3) and downstream tooling (stable JSON).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/funnel"
+)
+
+// JSONReport is the stable wire form of one change assessment.
+type JSONReport struct {
+	ChangeID    string           `json:"change_id"`
+	ChangeType  string           `json:"change_type"`
+	Service     string           `json:"service"`
+	At          time.Time        `json:"at"`
+	Dark        bool             `json:"dark_launch"`
+	TServers    []string         `json:"treated_servers"`
+	CServers    []string         `json:"control_servers,omitempty"`
+	Affected    []string         `json:"affected_services,omitempty"`
+	Assessments []JSONAssessment `json:"assessments"`
+}
+
+// JSONAssessment is the wire form of one KPI verdict.
+type JSONAssessment struct {
+	Scope        string  `json:"scope"`
+	Entity       string  `json:"entity"`
+	Metric       string  `json:"metric"`
+	Verdict      string  `json:"verdict"`
+	Kind         string  `json:"kind,omitempty"`
+	Alpha        float64 `json:"alpha,omitempty"`
+	Control      string  `json:"control,omitempty"`
+	DetectedBin  int     `json:"detected_bin,omitempty"`
+	AvailableBin int     `json:"available_bin,omitempty"`
+	TrendWarning bool    `json:"trend_warning,omitempty"`
+	Similarity   float64 `json:"control_similarity,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// ToJSON converts a pipeline report to its wire form.
+func ToJSON(r *funnel.Report) JSONReport {
+	out := JSONReport{
+		ChangeID:   r.Change.ID,
+		ChangeType: r.Change.Type.String(),
+		Service:    r.Change.Service,
+		At:         r.Change.At,
+		Dark:       r.Set.Dark(),
+		TServers:   r.Set.TServers,
+		CServers:   r.Set.CServers,
+		Affected:   r.Set.AffectedServices,
+	}
+	for _, a := range r.Assessments {
+		ja := JSONAssessment{
+			Scope:        a.Key.Scope.String(),
+			Entity:       a.Key.Entity,
+			Metric:       a.Key.Metric,
+			Verdict:      a.Verdict.String(),
+			TrendWarning: a.TrendWarning,
+		}
+		if a.Verdict != funnel.NoChange {
+			ja.Kind = a.Detection.Kind.String()
+			ja.Alpha = a.Alpha
+			ja.Control = a.ControlKind.String()
+			ja.DetectedBin = a.Detection.Start
+			ja.AvailableBin = a.Detection.AvailableAt
+			ja.Similarity = a.ControlSimilarity
+		}
+		if a.Err != nil {
+			ja.Error = a.Err.Error()
+		}
+		out.Assessments = append(out.Assessments, ja)
+	}
+	return out
+}
+
+// WriteJSON streams the JSON form of reports as one array.
+func WriteJSON(w io.Writer, reports []*funnel.Report) error {
+	docs := make([]JSONReport, 0, len(reports))
+	for _, r := range reports {
+		docs = append(docs, ToJSON(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
+}
+
+// WriteText renders the operator view of one report: header, the
+// software-caused changes first, then (optionally) the excluded and
+// quiet KPIs.
+func WriteText(w io.Writer, r *funnel.Report, verbose bool) error {
+	mode := "full-launch"
+	if r.Set.Dark() {
+		mode = fmt.Sprintf("dark-launch (%d treated / %d control servers)",
+			len(r.Set.TServers), len(r.Set.CServers))
+	}
+	if _, err := fmt.Fprintf(w, "%s %s on %s at %s [%s]\n",
+		r.Change.ID, r.Change.Type, r.Change.Service,
+		r.Change.At.Format("2006-01-02 15:04"), mode); err != nil {
+		return err
+	}
+	flagged := r.Flagged()
+	if len(flagged) == 0 {
+		if _, err := fmt.Fprintln(w, "  no KPI changes attributed to this software change"); err != nil {
+			return err
+		}
+	}
+	for _, a := range flagged {
+		warn := ""
+		if a.TrendWarning {
+			warn = "  [pre-trend warning]"
+		}
+		delay := a.Detection.AvailableAt - r.ChangeBin
+		if _, err := fmt.Fprintf(w, "  CHANGED %-45s %-16s α=%+8.2f detected %+dmin (%s control)%s\n",
+			a.Key, a.Detection.Kind, a.Alpha, delay, a.ControlKind, warn); err != nil {
+			return err
+		}
+	}
+	if !verbose {
+		return nil
+	}
+	for _, a := range r.Assessments {
+		switch a.Verdict {
+		case funnel.ChangedByOther:
+			if _, err := fmt.Fprintf(w, "  excluded %-44s α=%+8.2f (moved with the %s control)\n",
+				a.Key, a.Alpha, a.ControlKind); err != nil {
+				return err
+			}
+		case funnel.NoChange:
+			if _, err := fmt.Fprintf(w, "  quiet    %-44s\n", a.Key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary condenses a batch of reports into one line per change plus a
+// total, for scanning a day's worth of assessments.
+func Summary(reports []*funnel.Report) string {
+	var b strings.Builder
+	totalFlagged := 0
+	for _, r := range reports {
+		n := len(r.Flagged())
+		totalFlagged += n
+		status := "ok"
+		if n > 0 {
+			status = fmt.Sprintf("%d KPI change(s)", n)
+		}
+		fmt.Fprintf(&b, "%-14s %-24s %s\n", r.Change.ID, r.Change.Service, status)
+	}
+	fmt.Fprintf(&b, "total: %d change(s), %d KPI change(s) attributed\n", len(reports), totalFlagged)
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/funnel"
+	"repro/internal/workload"
+)
+
+// assessOne produces a real report from a tiny scenario.
+func assessOne(t *testing.T) *funnel.Report {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.Changes = 2
+	p.HistoryDays = 2
+	sc, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := funnel.NewAssessor(sc.Source, sc.Topo, funnel.Config{
+		ServerMetrics:   workload.ServerMetrics(),
+		InstanceMetrics: workload.InstanceMetrics(),
+		HistoryDays:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Assess(sc.Cases[0].Change)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestToJSONShape(t *testing.T) {
+	rep := assessOne(t)
+	doc := ToJSON(rep)
+	if doc.ChangeID != rep.Change.ID || doc.Service != rep.Change.Service {
+		t.Fatalf("header mismatch: %+v", doc)
+	}
+	if len(doc.Assessments) != len(rep.Assessments) {
+		t.Fatalf("assessments %d != %d", len(doc.Assessments), len(rep.Assessments))
+	}
+	flagged := 0
+	for _, a := range doc.Assessments {
+		if a.Verdict == "changed-by-software" {
+			flagged++
+			if a.Kind == "" || a.Control == "" {
+				t.Fatalf("flagged assessment missing detail: %+v", a)
+			}
+		}
+	}
+	if flagged != len(rep.Flagged()) {
+		t.Fatalf("flagged count mismatch")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rep := assessOne(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*funnel.Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var docs []JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].ChangeID != rep.Change.ID {
+		t.Fatalf("round trip = %+v", docs)
+	}
+}
+
+func TestWriteTextModes(t *testing.T) {
+	rep := assessOne(t)
+	var terse, verbose bytes.Buffer
+	if err := WriteText(&terse, rep, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&verbose, rep, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(terse.String(), rep.Change.ID) {
+		t.Fatal("text misses change ID")
+	}
+	if !strings.Contains(terse.String(), "CHANGED") {
+		t.Fatal("text misses flagged lines for an effect case")
+	}
+	if verbose.Len() <= terse.Len() {
+		t.Fatal("verbose output should be longer")
+	}
+	if !strings.Contains(verbose.String(), "quiet") {
+		t.Fatal("verbose output misses quiet KPIs")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rep := assessOne(t)
+	s := Summary([]*funnel.Report{rep})
+	if !strings.Contains(s, rep.Change.ID) || !strings.Contains(s, "total: 1 change(s)") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestWriteTextFullLaunchAndWarning(t *testing.T) {
+	rep := assessOne(t)
+	// Mutate into a full-launch, warning-carrying report to cover the
+	// remaining render branches.
+	rep.Set.CServers = nil
+	rep.Set.CInstances = nil
+	for i := range rep.Assessments {
+		if rep.Assessments[i].Verdict == funnel.ChangedBySoftware {
+			rep.Assessments[i].TrendWarning = true
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, rep, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "full-launch") {
+		t.Fatal("full-launch header missing")
+	}
+	if !strings.Contains(out, "[pre-trend warning]") {
+		t.Fatal("trend warning missing from text")
+	}
+}
+
+func TestWriteTextNoFlags(t *testing.T) {
+	rep := assessOne(t)
+	rep.Assessments = nil
+	var buf bytes.Buffer
+	if err := WriteText(&buf, rep, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no KPI changes attributed") {
+		t.Fatalf("empty-report text = %q", buf.String())
+	}
+}

@@ -1,0 +1,75 @@
+package sst
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Classic is the original SVD-based Singular Spectrum Transform
+// (§3.2.1). At each point it computes the full SVD of the past Hankel
+// matrix, takes the leading η left singular vectors as the "normal"
+// subspace, extracts the direction of maximum future change as the top
+// left singular vector of the future Hankel matrix, and scores the point
+// by how far that direction falls outside the past subspace
+// (Eqs. 6–7: 1 − ‖Uηᵀβ‖).
+type Classic struct {
+	cfg Config
+}
+
+// NewClassic constructs the classic SST scorer. It panics on an invalid
+// configuration; use cfg.Validate to check first.
+func NewClassic(cfg Config) *Classic {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Classic{cfg: cfg}
+}
+
+// Config returns the resolved configuration.
+func (c *Classic) Config() Config { return c.cfg }
+
+// ScoreAt returns the classic SST change score of x at index t,
+// in [0, 1].
+func (c *Classic) ScoreAt(x []float64, t int) float64 {
+	w, tl := analysisWindow(x, t, c.cfg)
+
+	b := pastMatrix(w, tl, c.cfg)
+	ueta := linalg.TopLeftSingularVectors(b, c.cfg.Eta)
+
+	a := futureMatrix(w, tl, c.cfg)
+	beta := linalg.TopLeftSingularVectors(a, 1).Col(0)
+	if linalg.Norm2(beta) == 0 {
+		// Degenerate future (constant window): no change signal.
+		return 0
+	}
+
+	// ‖Uηᵀβ‖ is the length of β's projection onto the past subspace;
+	// the score is its complement.
+	var proj float64
+	for j := 0; j < ueta.Cols; j++ {
+		d := linalg.Dot(ueta.Col(j), beta)
+		proj += d * d
+	}
+	score := 1 - sqrtClamped(proj)
+	if c.cfg.RobustFilter {
+		score *= robustMultiplier(w, tl, c.cfg.Omega)
+	}
+	if !c.cfg.RobustFilter {
+		score = clamp01(score)
+	}
+	return score
+}
+
+// sqrtClamped is √x with negatives (from roundoff) treated as zero and
+// values above one clamped, keeping the score inside [0, 1].
+func sqrtClamped(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,164 @@
+package sst
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// IKA is the Implicit Krylov Approximation SST (§3.2.3) — the scorer
+// FUNNEL actually deploys. It computes the same robust score as Robust
+// but never performs a full SVD or dense eigensolve:
+//
+//  1. The η future directions βᵢ(t) and their eigenvalues are obtained
+//     by running Lanczos on the implicit operator A(t)·A(t)ᵀ (matrix
+//     compression: only matrix–vector products with A and Aᵀ are
+//     evaluated) followed by a QL eigensolve of the tiny k×k
+//     tridiagonal matrix.
+//  2. For each βᵢ, φᵢ is approximated via Lanczos(C, βᵢ, k) with
+//     C = B(t)·B(t)ᵀ implicit: by Idé & Tsuda's result, the squared
+//     projections of βᵢ onto the top-η eigendirections of C are the
+//     squared first components of the top-η eigenvectors of T_k
+//     (Eq. 13: φᵢ ≈ 1 − Σⱼ x_j(1)²).
+//
+// The per-point cost is O(k·ω·γ) instead of the O(ω·δ²)-per-sweep
+// iterative SVD, which is where the 401.8 µs vs 2.852 s gap in Table 2
+// comes from.
+type IKA struct {
+	cfg Config
+}
+
+// NewIKA constructs the IKA-accelerated robust SST scorer. It panics on
+// an invalid configuration.
+func NewIKA(cfg Config) *IKA {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &IKA{cfg: cfg}
+}
+
+// Config returns the resolved configuration.
+func (s *IKA) Config() Config { return s.cfg }
+
+// ScoreAt returns the IKA change score of x at index t. It approximates
+// Robust.ScoreAt to within Krylov accuracy (tight for k = 2η−1 ≥ η+2 on
+// the effectively low-rank Hankel Gram matrices FUNNEL sees).
+func (s *IKA) ScoreAt(x []float64, t int) float64 {
+	w, tl := analysisWindow(x, t, s.cfg)
+
+	b := pastMatrix(w, tl, s.cfg)
+	a := futureMatrix(w, tl, s.cfg)
+
+	lambdas, betas := s.futureDirections(a)
+	if len(betas) == 0 {
+		return 0
+	}
+
+	// Implicit past operator C = B·Bᵀ shared across the η solves.
+	pastOp := linalg.GramOp(b)
+
+	var num, den float64
+	for i, beta := range betas {
+		phi := s.discordance(pastOp, beta)
+		num += lambdas[i] * phi
+		den += lambdas[i]
+	}
+	var score float64
+	if den > 0 {
+		score = clamp01(num / den)
+	}
+	if s.cfg.RobustFilter {
+		score *= robustMultiplier(w, tl, s.cfg.Omega)
+	}
+	return score
+}
+
+// futureDirections extracts η Ritz pairs of A·Aᵀ via Lanczos + QL.
+// The Ritz vectors are reconstructed in the original ω-dimensional
+// space from the Krylov basis.
+func (s *IKA) futureDirections(a *linalg.Matrix) (lambdas []float64, betas [][]float64) {
+	op := linalg.GramOp(a)
+	start := krylovStart(a)
+	res, err := linalg.Lanczos(op, start, s.cfg.K, true)
+	if err != nil {
+		return nil, nil
+	}
+	vals, vecs, err := linalg.TridiagEig(res.Alpha, res.Beta)
+	if err != nil {
+		return nil, nil
+	}
+	eta := s.cfg.Eta
+	if eta > res.K {
+		eta = res.K
+	}
+	lambdas = make([]float64, 0, eta)
+	betas = make([][]float64, 0, eta)
+	for i := 0; i < eta; i++ {
+		idx := i
+		if s.cfg.FutureSmallest {
+			idx = res.K - 1 - i
+		}
+		l := vals[idx]
+		if l < 0 {
+			l = 0
+		}
+		// Ritz vector: Q · y_idx.
+		y := vecs.Col(idx)
+		beta := res.Q.MulVec(y)
+		linalg.Normalize(beta)
+		lambdas = append(lambdas, l)
+		betas = append(betas, beta)
+	}
+	return lambdas, betas
+}
+
+// discordance approximates φ = 1 − Σⱼ (βᵀuⱼ)² for the top-η
+// eigendirections uⱼ of the implicit operator via Eq. 13.
+func (s *IKA) discordance(pastOp linalg.MatVec, beta []float64) float64 {
+	res, err := linalg.Lanczos(pastOp, beta, s.cfg.K, false)
+	if err != nil {
+		return 0
+	}
+	vals, vecs, err := linalg.TridiagEig(res.Alpha, res.Beta)
+	if err != nil {
+		return 0
+	}
+	eta := s.cfg.Eta
+	if eta > res.K {
+		eta = res.K
+	}
+	var proj float64
+	for j := 0; j < eta; j++ {
+		// First component of the j-th tridiagonal eigenvector: the
+		// cosine between β (the Krylov start vector) and the j-th Ritz
+		// direction of C.
+		x1 := vecs.At(0, j)
+		// Skip numerically-zero Ritz values: they correspond to the
+		// null space, not to genuine past dynamics.
+		if vals[j] <= 1e-12*math.Max(1, vals[0]) {
+			continue
+		}
+		proj += x1 * x1
+	}
+	return clamp01(1 - proj)
+}
+
+// krylovStart produces a deterministic, generically non-degenerate
+// start vector for the future Lanczos: the row sums of A (i.e. A·1),
+// falling back to a fixed ramp when those vanish (e.g. on a perfectly
+// antisymmetric window).
+func krylovStart(a *linalg.Matrix) []float64 {
+	start := make([]float64, a.Rows)
+	ones := make([]float64, a.Cols)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a.MulVecTo(start, ones)
+	if linalg.Norm2(start) < 1e-12 {
+		for i := range start {
+			start[i] = 1 + float64(i)
+		}
+	}
+	return start
+}

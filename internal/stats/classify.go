@@ -1,0 +1,78 @@
+package stats
+
+import "math"
+
+// KPIType captures the three intrinsic KPI characteristics the paper's
+// evaluation partitions items by (§4.2.1): strong seasonality (e.g. Web
+// page view counts), stationarity (e.g. server memory utilization) and
+// high variability (e.g. server CPU context-switch counts).
+type KPIType int
+
+const (
+	// Stationary KPIs fluctuate mildly around a stable level.
+	Stationary KPIType = iota
+	// Seasonal KPIs repeat a strong time-of-day / day-of-week pattern.
+	Seasonal
+	// Variable KPIs are intrinsically noisy or bursty.
+	Variable
+)
+
+// String returns the lower-case name used in the paper's tables.
+func (k KPIType) String() string {
+	switch k {
+	case Seasonal:
+		return "seasonal"
+	case Stationary:
+		return "stationary"
+	case Variable:
+		return "variable"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifierConfig tunes ClassifyKPI. The zero value is not useful;
+// use DefaultClassifierConfig.
+type ClassifierConfig struct {
+	// SeasonLag is the number of samples in one seasonal period
+	// (1440 for daily seasonality at 1-min bins).
+	SeasonLag int
+	// SeasonalACF is the minimum autocorrelation at SeasonLag for a
+	// series to be called seasonal.
+	SeasonalACF float64
+	// VariableCV is the minimum robust coefficient of variation
+	// (MADScale·MAD / |median|, or MAD when the median is ~0) above
+	// which a non-seasonal series is called variable.
+	VariableCV float64
+}
+
+// DefaultClassifierConfig returns the thresholds used by the evaluation
+// harness: daily seasonality at 1-minute bins, ACF ≥ 0.5, robust CV ≥ 0.25.
+func DefaultClassifierConfig() ClassifierConfig {
+	return ClassifierConfig{SeasonLag: 1440, SeasonalACF: 0.5, VariableCV: 0.25}
+}
+
+// ClassifyKPI labels a series as Seasonal, Stationary or Variable.
+// A series with a strong autocorrelation at the seasonal lag is seasonal;
+// otherwise a high robust coefficient of variation marks it variable and
+// anything else is stationary. Series shorter than two seasonal periods
+// are never called seasonal (the lag cannot be estimated reliably).
+func ClassifyKPI(xs []float64, cfg ClassifierConfig) KPIType {
+	if cfg.SeasonLag > 0 && len(xs) >= 2*cfg.SeasonLag {
+		if Autocorrelation(xs, cfg.SeasonLag) >= cfg.SeasonalACF {
+			return Seasonal
+		}
+	}
+	med, mad := MedianMAD(xs)
+	spread := mad * MADScale
+	var cv float64
+	if math.Abs(med) > 1e-12 {
+		cv = spread / math.Abs(med)
+	} else {
+		cv = spread
+	}
+	if cv >= cfg.VariableCV {
+		return Variable
+	}
+	return Stationary
+}

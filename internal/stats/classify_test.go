@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genSeasonal produces days of a strong diurnal pattern plus light noise.
+func genSeasonal(days int, rng *rand.Rand) []float64 {
+	n := days * 1440
+	xs := make([]float64, n)
+	for i := range xs {
+		phase := 2 * math.Pi * float64(i%1440) / 1440
+		xs[i] = 100 + 40*math.Sin(phase) + rng.NormFloat64()*2
+	}
+	return xs
+}
+
+func TestClassifySeasonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs := genSeasonal(3, rng)
+	if got := ClassifyKPI(xs, DefaultClassifierConfig()); got != Seasonal {
+		t.Fatalf("ClassifyKPI = %v, want seasonal", got)
+	}
+}
+
+func TestClassifyStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 3*1440)
+	for i := range xs {
+		xs[i] = 60 + rng.NormFloat64()*0.8 // memory-utilization-like
+	}
+	if got := ClassifyKPI(xs, DefaultClassifierConfig()); got != Stationary {
+		t.Fatalf("ClassifyKPI = %v, want stationary", got)
+	}
+}
+
+func TestClassifyVariable(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 3*1440)
+	for i := range xs {
+		// CPU-context-switch-like bursty positive noise.
+		xs[i] = math.Abs(rng.NormFloat64()) * 1000
+	}
+	if got := ClassifyKPI(xs, DefaultClassifierConfig()); got != Variable {
+		t.Fatalf("ClassifyKPI = %v, want variable", got)
+	}
+}
+
+func TestClassifyShortSeriesNeverSeasonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := genSeasonal(1, rng) // one day only: below the 2-period floor
+	if got := ClassifyKPI(xs, DefaultClassifierConfig()); got == Seasonal {
+		t.Fatal("short series must not be classified seasonal")
+	}
+}
+
+func TestClassifyZeroMedianVariable(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10 // median ≈ 0, large spread
+	}
+	if got := ClassifyKPI(xs, DefaultClassifierConfig()); got != Variable {
+		t.Fatalf("ClassifyKPI = %v, want variable for zero-median noisy series", got)
+	}
+}
+
+func TestKPITypeString(t *testing.T) {
+	cases := map[KPIType]string{
+		Seasonal:   "seasonal",
+		Stationary: "stationary",
+		Variable:   "variable",
+		KPIType(9): "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

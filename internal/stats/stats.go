@@ -1,0 +1,344 @@
+// Package stats provides the robust statistics used throughout FUNNEL:
+// medians, median absolute deviation (MAD), quantiles, robust
+// normalization, autocorrelation, and the empirical CCDF used to report
+// detection-delay distributions.
+//
+// FUNNEL (§3.2.2 of the paper) deliberately prefers the median/MAD pair
+// over mean/standard deviation because the former stay stable in the
+// presence of the outliers and baseline contamination that are common in
+// production KPI streams.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// MADScale converts a MAD into a consistent estimator of the standard
+// deviation for Gaussian data (1 / Φ⁻¹(3/4)).
+const MADScale = 1.4826
+
+// ErrEmpty is returned by functions that cannot operate on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Stddev returns the sample standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs without modifying it.
+// It returns NaN if xs is empty.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	return medianInPlace(tmp)
+}
+
+// MedianInto computes the median of xs using buf as scratch space,
+// avoiding an allocation when buf has sufficient capacity. buf may be nil.
+func MedianInto(xs, buf []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if cap(buf) < len(xs) {
+		buf = make([]float64, len(xs))
+	}
+	buf = buf[:len(xs)]
+	copy(buf, xs)
+	return medianInPlace(buf)
+}
+
+// medianInPlace sorts tmp and returns its median.
+func medianInPlace(tmp []float64) float64 {
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs around its median:
+// median(|x_i − median(x)|). It returns NaN if xs is empty.
+// Multiply by MADScale to obtain a robust standard-deviation estimate.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return medianInPlace(dev)
+}
+
+// MedianMAD returns both the median and the MAD in one pass of scratch
+// allocation; the pair is what FUNNEL's robustness filter (Eq. 11) needs
+// at every point.
+func MedianMAD(xs []float64) (median, mad float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	median = medianInPlace(tmp)
+	for i, x := range xs {
+		tmp[i] = math.Abs(x - median)
+	}
+	mad = medianInPlace(tmp)
+	return median, mad
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns NaN on empty input
+// or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	return quantileSorted(tmp, q)
+}
+
+// quantileSorted computes the q-th quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RobustZ returns the robust z-score of x relative to the sample xs:
+// (x − median) / (MADScale · MAD). If the MAD is zero it falls back to
+// the standard deviation, and if that is also zero it returns 0.
+func RobustZ(x float64, xs []float64) float64 {
+	med, mad := MedianMAD(xs)
+	scale := mad * MADScale
+	if scale == 0 {
+		scale = Stddev(xs)
+	}
+	if scale == 0 {
+		return 0
+	}
+	return (x - med) / scale
+}
+
+// NormalizeRobust returns a copy of xs shifted by its median and scaled
+// by MADScale·MAD (falling back to the standard deviation, then to 1,
+// when degenerate). FUNNEL normalizes KPI windows this way so that SST
+// change scores and DiD thresholds are scale-free across KPIs whose raw
+// units differ by many orders of magnitude.
+func NormalizeRobust(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	med, mad := MedianMAD(xs)
+	scale := mad * MADScale
+	if scale == 0 {
+		scale = Stddev(xs)
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for i, x := range xs {
+		out[i] = (x - med) / scale
+	}
+	return out
+}
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag. It returns 0 when the lag is out of range or the series has no
+// variance.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// CCDFPoint is one point of an empirical complementary CDF.
+type CCDFPoint struct {
+	X float64 // value
+	P float64 // fraction of samples strictly greater than or equal to X
+}
+
+// CCDF returns the empirical complementary cumulative distribution
+// function of xs as a sequence of (value, P[X ≥ value]) points in
+// ascending value order. Fig. 5 of the paper plots detection delays this
+// way.
+func CCDF(xs []float64) []CCDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := float64(len(tmp))
+	pts := make([]CCDFPoint, 0, len(tmp))
+	for i := 0; i < len(tmp); i++ {
+		if i > 0 && tmp[i] == tmp[i-1] {
+			continue
+		}
+		pts = append(pts, CCDFPoint{X: tmp[i], P: float64(len(tmp)-i) / n})
+	}
+	return pts
+}
+
+// Slope returns the least-squares slope of xs against its index
+// (units: value per sample). FUNNEL uses this to distinguish ramps from
+// level shifts once a change has been detected.
+func Slope(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	// Index mean is (n−1)/2; use the closed form for Σ(i−ī)².
+	im := float64(n-1) / 2
+	xm := Mean(xs)
+	var num, den float64
+	for i, x := range xs {
+		di := float64(i) - im
+		num += di * (x - xm)
+		den += di * di
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RollingMedianMAD computes, for every index t in [0, len(xs)), the
+// median and MAD of the window xs[max(0,t−w+1) .. t]. It is used by the
+// robustness filter to track local level and spread. The two returned
+// slices have the same length as xs.
+func RollingMedianMAD(xs []float64, w int) (medians, mads []float64) {
+	n := len(xs)
+	medians = make([]float64, n)
+	mads = make([]float64, n)
+	if w < 1 {
+		w = 1
+	}
+	buf := make([]float64, 0, w)
+	for t := 0; t < n; t++ {
+		lo := t - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		window := xs[lo : t+1]
+		med := MedianInto(window, buf)
+		dev := buf[:len(window)]
+		for i, x := range window {
+			dev[i] = math.Abs(x - med)
+		}
+		medians[t] = med
+		mads[t] = medianInPlace(dev)
+	}
+	return medians, mads
+}
+
+// Correlation returns the Pearson correlation of two equal-length
+// samples, or 0 when either has no variance. FUNNEL's dark-launch DiD
+// rests on treated and control behaving alike before the change
+// (§3.2.4's load-balancing observation); the pipeline can verify that
+// premise by correlating the pre-change windows.
+func Correlation(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

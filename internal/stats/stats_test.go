@@ -1,0 +1,370 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Population variance is 4; sample variance is 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := Stddev(xs); !almostEq(got, math.Sqrt(want), 1e-12) {
+		t.Fatalf("Stddev = %v", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of single sample should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4}
+	Median(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMedianIntoMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]float64, 0, 64)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if a, b := Median(xs), MedianInto(xs, buf); a != b {
+			t.Fatalf("MedianInto = %v, Median = %v", b, a)
+		}
+	}
+}
+
+func TestMADKnown(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	// median = 2, |dev| = {1,1,0,0,2,4,7}, median of dev = 1.
+	if got := MAD(xs); got != 1 {
+		t.Fatalf("MAD = %v, want 1", got)
+	}
+}
+
+func TestMedianMADConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		med, mad := MedianMAD(xs)
+		if med != Median(xs) || mad != MAD(xs) {
+			t.Fatalf("MedianMAD inconsistent with Median/MAD")
+		}
+	}
+}
+
+func TestMADRobustToOutlier(t *testing.T) {
+	base := []float64{10, 10.1, 9.9, 10.05, 9.95, 10, 10.02, 9.98}
+	contaminated := append(append([]float64{}, base...), 1e6)
+	if MAD(contaminated) > 10*MAD(base)+1 {
+		t.Fatalf("MAD blew up under a single outlier: %v vs %v", MAD(contaminated), MAD(base))
+	}
+	if Stddev(contaminated) < 1000 {
+		t.Fatal("sanity: stddev should blow up under the outlier")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("out-of-range quantiles should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Fatalf("single-element quantile = %v", got)
+	}
+}
+
+func TestRobustZ(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) // median 50, MAD 25
+	}
+	z := RobustZ(50+25*MADScale, xs)
+	if !almostEq(z, 1, 1e-12) {
+		t.Fatalf("RobustZ = %v, want 1", z)
+	}
+	// Degenerate: constant series → z = 0.
+	if RobustZ(5, []float64{3, 3, 3}) != 0 {
+		t.Fatal("RobustZ of constant sample should be 0")
+	}
+}
+
+func TestNormalizeRobustProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 100 + 5*rng.NormFloat64()
+	}
+	ys := NormalizeRobust(xs)
+	if !almostEq(Median(ys), 0, 1e-9) {
+		t.Fatalf("normalized median = %v", Median(ys))
+	}
+	if m := MAD(ys) * MADScale; !almostEq(m, 1, 1e-9) {
+		t.Fatalf("normalized scaled MAD = %v", m)
+	}
+	// Constant input should not produce NaN.
+	for _, v := range NormalizeRobust([]float64{4, 4, 4, 4}) {
+		if math.IsNaN(v) {
+			t.Fatal("NormalizeRobust produced NaN on constant input")
+		}
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Perfect period-4 signal: ACF at lag 4 should be near 1.
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 4)
+	}
+	if acf := Autocorrelation(xs, 4); acf < 0.95 {
+		t.Fatalf("ACF at period lag = %v, want ≈1", acf)
+	}
+	if acf := Autocorrelation(xs, 2); acf > -0.9 {
+		t.Fatalf("ACF at half period = %v, want ≈−1", acf)
+	}
+	if Autocorrelation(xs, 0) != 0 || Autocorrelation(xs, len(xs)) != 0 {
+		t.Fatal("out-of-range lags should return 0")
+	}
+	if Autocorrelation([]float64{1, 1, 1}, 1) != 0 {
+		t.Fatal("constant series should return 0")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	pts := CCDF([]float64{1, 2, 2, 3})
+	want := []CCDFPoint{{1, 1}, {2, 0.75}, {3, 0.25}}
+	if len(pts) != len(want) {
+		t.Fatalf("CCDF = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("CCDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CCDF(nil) != nil {
+		t.Fatal("CCDF(nil) should be nil")
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	pts := CCDF(xs)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].P >= pts[i-1].P {
+			t.Fatalf("CCDF not strictly monotone at %d: %v %v", i, pts[i-1], pts[i])
+		}
+	}
+	if pts[0].P != 1 {
+		t.Fatalf("CCDF should start at P=1, got %v", pts[0].P)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 3 + 0.7*float64(i)
+	}
+	if got := Slope(xs); !almostEq(got, 0.7, 1e-12) {
+		t.Fatalf("Slope = %v, want 0.7", got)
+	}
+	if Slope([]float64{1}) != 0 || Slope([]float64{2, 2, 2}) != 0 {
+		t.Fatal("degenerate slopes should be 0")
+	}
+}
+
+func TestRollingMedianMAD(t *testing.T) {
+	xs := []float64{1, 2, 3, 100, 5, 6}
+	med, mad := RollingMedianMAD(xs, 3)
+	if len(med) != len(xs) || len(mad) != len(xs) {
+		t.Fatal("length mismatch")
+	}
+	// At t=0 window is {1}.
+	if med[0] != 1 || mad[0] != 0 {
+		t.Fatalf("t=0: med=%v mad=%v", med[0], mad[0])
+	}
+	// At t=3 window is {2,3,100}: median 3.
+	if med[3] != 3 {
+		t.Fatalf("t=3 median = %v, want 3", med[3])
+	}
+	// At t=5 window is {100,5,6}: median 6.
+	if med[5] != 6 {
+		t.Fatalf("t=5 median = %v, want 6", med[5])
+	}
+}
+
+// Property: the median minimizes the sum of absolute deviations, so for
+// any sample the L1 cost at the median is no greater than at the mean.
+func TestMedianMinimizesL1Property(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		l1 := func(c float64) float64 {
+			var s float64
+			for _, x := range xs {
+				s += math.Abs(x - c)
+			}
+			return s
+		}
+		return l1(Median(xs)) <= l1(Mean(xs))+1e-6*(1+math.Abs(l1(Mean(xs))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		clamp := func(q float64) float64 {
+			q = math.Abs(math.Mod(q, 1))
+			return q
+		}
+		a, b := clamp(q1), clamp(q2)
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(xs, a), Quantile(xs, b)
+		sort.Float64s(xs)
+		return qa <= qb+1e-9 && qa >= xs[0]-1e-9 && qb <= xs[len(xs)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NormalizeRobust is invariant to affine shifts of the input
+// (up to sign of the scale): normalizing a+b·x with b>0 equals
+// normalizing x.
+func TestNormalizeAffineInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		shift := rng.NormFloat64() * 100
+		scale := rng.Float64()*10 + 0.1
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = shift + scale*xs[i]
+		}
+		nx, ny := NormalizeRobust(xs), NormalizeRobust(ys)
+		for i := range nx {
+			if !almostEq(nx[i], ny[i], 1e-6) {
+				t.Fatalf("affine invariance violated at %d: %v vs %v", i, nx[i], ny[i])
+			}
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if Correlation(xs, []float64{3, 3, 3, 3, 3}) != 0 {
+		t.Fatal("constant series should correlate 0")
+	}
+	if Correlation(xs, ys[:3]) != 0 {
+		t.Fatal("length mismatch should return 0")
+	}
+	// Independent noise: near zero.
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if c := Correlation(a, b); math.Abs(c) > 0.1 {
+		t.Fatalf("independent correlation = %v", c)
+	}
+}

@@ -1,0 +1,224 @@
+// Package workload synthesizes the KPI data, topologies and software
+// changes that substitute for the paper's proprietary production traces
+// (§4.1). It produces the three KPI characters the evaluation
+// partitions by — seasonal, stationary, variable — injects the level
+// shifts and ramps of Fig. 2 with per-item ground-truth records,
+// simulates non-software confounders (common shocks that hit treated
+// and control groups alike) and baseline contamination, and generates
+// the two operational case studies (Fig. 6 Redis rebalancing, Fig. 7
+// advertising incident).
+//
+// All randomness flows from explicit seeds so every table and figure is
+// reproducible bit-for-bit.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MinutesPerDay is the number of 1-minute bins in a simulated day.
+const MinutesPerDay = 1440
+
+// Gen produces one sample of a synthetic KPI per bin. Implementations
+// must be deterministic functions of their construction seed and bin.
+type Gen interface {
+	// At returns the KPI value at the given bin index.
+	At(bin int) float64
+	// Noise returns the nominal noise scale, used to size injected
+	// effects in SNR units.
+	Noise() float64
+}
+
+// MinutesPerWeek is the number of 1-minute bins in a simulated week.
+const MinutesPerWeek = 7 * MinutesPerDay
+
+// Seasonal is a diurnal KPI (page views, clicks): a base level plus a
+// smooth daily cycle with a secondary harmonic, an optional day-of-week
+// modulation (§3.2.5 excludes both "the time of day and the day of
+// week effects"), and Gaussian noise.
+type Seasonal struct {
+	Level     float64 // mean level
+	Amplitude float64 // daily swing (peak-to-center)
+	Phase     float64 // phase offset in radians
+	NoiseSD   float64
+	// WeekendFactor scales the whole signal on days 5 and 6 of each
+	// simulated week (0 disables, i.e. factor 1). Consumer services
+	// typically see factors of 0.6–0.8 on weekends.
+	WeekendFactor float64
+	rng           *rand.Rand
+	cache         noiseCache
+}
+
+// NewSeasonal builds a seasonal generator with reproducible noise and
+// no weekend modulation.
+func NewSeasonal(level, amplitude, noiseSD float64, seed int64) *Seasonal {
+	return &Seasonal{Level: level, Amplitude: amplitude, NoiseSD: noiseSD,
+		Phase: float64(seed%7) * 0.3, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewWeeklySeasonal builds a seasonal generator whose level and swing
+// scale by weekendFactor on the 6th and 7th day of every week.
+func NewWeeklySeasonal(level, amplitude, noiseSD, weekendFactor float64, seed int64) *Seasonal {
+	g := NewSeasonal(level, amplitude, noiseSD, seed)
+	g.WeekendFactor = weekendFactor
+	return g
+}
+
+// At returns the seasonal value at bin.
+func (g *Seasonal) At(bin int) float64 {
+	day := 2 * math.Pi * float64(bin%MinutesPerDay) / MinutesPerDay
+	v := g.Level +
+		g.Amplitude*math.Sin(day+g.Phase) +
+		0.25*g.Amplitude*math.Sin(2*day+1.1*g.Phase)
+	if g.WeekendFactor > 0 {
+		if dow := (bin % MinutesPerWeek) / MinutesPerDay; dow >= 5 {
+			v *= g.WeekendFactor
+		}
+	}
+	return v + g.cache.sample(bin, g.rng)*g.NoiseSD
+}
+
+// Noise returns the noise scale.
+func (g *Seasonal) Noise() float64 { return g.NoiseSD }
+
+// Stationary is a flat KPI (memory utilization): a level plus small
+// Gaussian noise.
+type Stationary struct {
+	Level   float64
+	NoiseSD float64
+	rng     *rand.Rand
+	cache   noiseCache
+}
+
+// NewStationary builds a stationary generator with reproducible noise.
+func NewStationary(level, noiseSD float64, seed int64) *Stationary {
+	return &Stationary{Level: level, NoiseSD: noiseSD, rng: rand.New(rand.NewSource(seed))}
+}
+
+// At returns the stationary value at bin.
+func (g *Stationary) At(bin int) float64 {
+	return g.Level + g.cache.sample(bin, g.rng)*g.NoiseSD
+}
+
+// Noise returns the noise scale.
+func (g *Stationary) Noise() float64 { return g.NoiseSD }
+
+// Variable is a bursty KPI (CPU context switches): a positive level
+// with heavy multiplicative noise and occasional short bursts, the KPI
+// class that defeats spike-sensitive detectors (§4.2.1).
+type Variable struct {
+	Level   float64
+	Spread  float64 // multiplicative noise strength, e.g. 0.3
+	rng     *rand.Rand
+	cache   noiseCache
+	bursts  map[int]float64
+	burstSz float64
+}
+
+// NewVariable builds a variable generator: each bin is
+// Level·(1+Spread·|N|) with a burst of several× the level roughly every
+// 2 hours.
+func NewVariable(level, spread float64, seed int64) *Variable {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Variable{Level: level, Spread: spread, rng: rng, bursts: make(map[int]float64), burstSz: 2 + rng.Float64()*2}
+	return g
+}
+
+// At returns the variable value at bin.
+func (g *Variable) At(bin int) float64 {
+	n := g.cache.sample(bin, g.rng)
+	v := g.Level * (1 + g.Spread*n)
+	// Deterministic sparse bursts: hash the bin.
+	if burstHash(bin)%113 == 0 {
+		v *= g.burstSz
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Noise returns the effective noise scale (per-bin standard deviation
+// of the fluctuating part).
+func (g *Variable) Noise() float64 { return g.Level * g.Spread }
+
+// burstHash is a cheap deterministic integer hash.
+func burstHash(bin int) uint32 {
+	x := uint32(bin) * 2654435761
+	x ^= x >> 16
+	return x
+}
+
+// noiseCache memoizes per-bin Gaussian draws so that At is a pure
+// function of bin even when bins are queried out of order or repeatedly
+// (generators are shared between the agent path and direct rendering).
+type noiseCache struct {
+	samples []float64
+}
+
+// sample returns the cached Gaussian draw for bin, extending the cache
+// deterministically (draws are consumed in bin order) as needed.
+func (c *noiseCache) sample(bin int, rng *rand.Rand) float64 {
+	if bin < 0 {
+		return 0
+	}
+	for len(c.samples) <= bin {
+		c.samples = append(c.samples, rng.NormFloat64())
+	}
+	return c.samples[bin]
+}
+
+// Effect perturbs a base generator from a start bin: the level shifts
+// and ramp up/downs of Fig. 2.
+type Effect struct {
+	// StartBin is the onset bin.
+	StartBin int
+	// Magnitude is the eventual level change (signed), in raw KPI
+	// units.
+	Magnitude float64
+	// RampBins is 0 for an instantaneous level shift, otherwise the
+	// number of bins over which the change develops linearly.
+	RampBins int
+}
+
+// At returns the effect's contribution at bin.
+func (e Effect) At(bin int) float64 {
+	if bin < e.StartBin {
+		return 0
+	}
+	if e.RampBins <= 0 || bin >= e.StartBin+e.RampBins {
+		return e.Magnitude
+	}
+	return e.Magnitude * float64(bin-e.StartBin) / float64(e.RampBins)
+}
+
+// IsRamp reports whether the effect is gradual.
+func (e Effect) IsRamp() bool { return e.RampBins > 0 }
+
+// WithEffects overlays additive effects on a base generator.
+type WithEffects struct {
+	Base    Gen
+	Effects []Effect
+}
+
+// At returns the perturbed value at bin.
+func (w *WithEffects) At(bin int) float64 {
+	v := w.Base.At(bin)
+	for _, e := range w.Effects {
+		v += e.At(bin)
+	}
+	return v
+}
+
+// Noise returns the base noise scale.
+func (w *WithEffects) Noise() float64 { return w.Base.Noise() }
+
+// Render materializes n bins of a generator into a slice.
+func Render(g Gen, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.At(i)
+	}
+	return out
+}
