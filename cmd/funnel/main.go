@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/changelog"
 	"repro/internal/funnel"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -29,23 +30,34 @@ func main() {
 		trends    = flag.Bool("trends", false, "run the parallel-trends placebo diagnostics")
 		summarize = flag.Bool("summary", false, "print a one-line-per-change summary instead of full reports")
 		traceFile = flag.String("trace", "", "assess a workload.Trace JSON file instead of generating a scenario")
+		timings   = flag.Bool("timings", false, "instrument the pipeline and dump stage metrics to stderr after the run")
 	)
 	flag.Parse()
 
+	var col *obs.Collector
+	if *timings {
+		col = obs.NewCollector()
+	}
 	var err error
 	if *traceFile != "" {
-		err = runTrace(*traceFile, *history, *verbose, *asJSON, *workers, *summarize)
+		err = runTrace(*traceFile, *history, *verbose, *asJSON, *workers, *summarize, col)
 	} else {
-		err = run(*changes, *history, *seed, *verbose, *asJSON, *workers, *trends, *summarize)
+		err = run(*changes, *history, *seed, *verbose, *asJSON, *workers, *trends, *summarize, col)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "funnel:", err)
 		os.Exit(1)
 	}
+	if col != nil {
+		if err := col.WriteMetrics(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "funnel:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runTrace assesses every change of an exported trace file.
-func runTrace(path string, history int, verbose, asJSON bool, workers int, summarize bool) error {
+func runTrace(path string, history int, verbose, asJSON bool, workers int, summarize bool, col *obs.Collector) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -63,6 +75,7 @@ func runTrace(path string, history int, verbose, asJSON bool, workers int, summa
 		ServerMetrics:   traceMetrics(tr, "server"),
 		InstanceMetrics: traceMetrics(tr, "instance"),
 		HistoryDays:     history,
+		Obs:             col,
 	})
 	if err != nil {
 		return err
@@ -111,7 +124,7 @@ func emit(reports []*funnel.Report, verbose, asJSON, summarize bool) error {
 	}
 }
 
-func run(changes, history int, seed int64, verbose, asJSON bool, workers int, trends, summarize bool) error {
+func run(changes, history int, seed int64, verbose, asJSON bool, workers int, trends, summarize bool, col *obs.Collector) error {
 	p := workload.DefaultParams()
 	p.Changes = changes
 	p.HistoryDays = history
@@ -125,6 +138,7 @@ func run(changes, history int, seed int64, verbose, asJSON bool, workers int, tr
 		InstanceMetrics:      workload.InstanceMetrics(),
 		HistoryDays:          history,
 		VerifyParallelTrends: trends,
+		Obs:                  col,
 	})
 	if err != nil {
 		return err

@@ -13,11 +13,16 @@
 //
 //	echo '{"id":"chg-1","type":"upgrade","service":"kv.cache",
 //	       "servers":["srv-1"],"at":"2015-12-03T12:00:00Z"}' | nc host 7103
+//
+// The -debug address serves the telemetry surface: /metrics (expvar
+// JSON with pipeline stage histograms), /debug/pprof/* and
+// /traces/<change-id> (the per-KPI assessment trace).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +31,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/funnel"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -39,8 +45,15 @@ func main() {
 		instM     = flag.String("instance-metrics", "", "comma-separated instance metrics")
 		epoch     = flag.String("epoch", "", "store epoch (RFC3339; default now − history − 1 day)")
 		asJSON    = flag.Bool("json", false, "emit reports as JSON instead of text")
+		debug     = flag.String("debug", "127.0.0.1:7104", "telemetry HTTP listen address: /metrics, /debug/pprof/*, /traces/<id> (empty = off)")
+		verbose   = flag.Bool("v", false, "log lifecycle events (registrations, reports) to stderr")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	start := time.Now().UTC().Truncate(time.Minute).AddDate(0, 0, -*history-1)
 	if *epoch != "" {
@@ -63,15 +76,18 @@ func main() {
 		IngestAddr:    *ingest,
 		SubscribeAddr: *subscribe,
 		AdminAddr:     *admin,
+		DebugAddr:     *debug,
+		Logger:        logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "funnelserve:", err)
 		os.Exit(1)
 	}
 	defer d.Close()
+	col := d.Collector()
 
-	fmt.Printf("funnelserve: ingest=%v subscribe=%v admin=%v epoch=%s history=%dd\n",
-		d.IngestAddr(), d.SubscribeAddr(), d.AdminAddr(), start.Format(time.RFC3339), *history)
+	fmt.Printf("funnelserve: ingest=%v subscribe=%v admin=%v debug=%v epoch=%s history=%dd\n",
+		d.IngestAddr(), d.SubscribeAddr(), d.AdminAddr(), d.DebugAddr(), start.Format(time.RFC3339), *history)
 
 	// Reports stream until interrupted.
 	sig := make(chan os.Signal, 1)
@@ -82,14 +98,18 @@ func main() {
 			if !ok {
 				return
 			}
+			t0 := col.Now()
 			if *asJSON {
-				if err := report.WriteJSON(os.Stdout, []*funnel.Report{rep}); err != nil {
-					fmt.Fprintln(os.Stderr, "funnelserve:", err)
-				}
-				continue
+				err = report.WriteJSON(os.Stdout, []*funnel.Report{rep})
+			} else {
+				err = report.WriteText(os.Stdout, rep, false)
 			}
-			if err := report.WriteText(os.Stdout, rep, false); err != nil {
+			col.ObserveSince(obs.StageRender, t0)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "funnelserve:", err)
+			}
+			if logger != nil {
+				logger.Info("report emitted", "change", rep.Change.ID, "flagged", len(rep.Flagged()))
 			}
 		case <-sig:
 			fmt.Println("funnelserve: shutting down")

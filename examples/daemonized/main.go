@@ -3,21 +3,28 @@
 // over the TCP ingest port, the operations team registers the change
 // over the admin port exactly as a deployment script would (one JSON
 // line), and the daemon prints the assessment when the observation
-// window completes.
+// window completes. Afterwards the telemetry surface is read back over
+// HTTP: /metrics shows the pipeline stage counters and
+// /traces/<change-id> the per-KPI assessment trace.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	"os"
 	"strings"
 	"time"
 
 	funnel "repro"
 	"repro/internal/daemon"
 	"repro/internal/monitor"
+	"repro/internal/report"
 )
 
 const (
@@ -41,13 +48,14 @@ func main() {
 		IngestAddr:    "127.0.0.1:0",
 		SubscribeAddr: "127.0.0.1:0",
 		AdminAddr:     "127.0.0.1:0",
+		DebugAddr:     "127.0.0.1:0",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer d.Close()
-	fmt.Printf("daemon up: ingest=%v admin=%v subscribe=%v\n",
-		d.IngestAddr(), d.AdminAddr(), d.SubscribeAddr())
+	fmt.Printf("daemon up: ingest=%v admin=%v subscribe=%v debug=%v\n",
+		d.IngestAddr(), d.AdminAddr(), d.SubscribeAddr(), d.DebugAddr())
 
 	// Control-group placement comes from deployment data.
 	servers := make([]string, nServers)
@@ -109,4 +117,44 @@ func main() {
 	case <-time.After(60 * time.Second):
 		log.Fatal("no report from the daemon")
 	}
+
+	// What an operator would curl after the rollout: the aggregate
+	// pipeline metrics, then this change's assessment trace.
+	base := "http://" + d.DebugAddr().String()
+	var metrics map[string]json.RawMessage
+	if err := getJSON(base+"/metrics", &metrics); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("/metrics: %s measurements ingested, %s changes assessed, sst windows scored: ",
+		metrics["monitor.ingested"], metrics["assess.changes"])
+	var sstWindow struct {
+		Count int64 `json:"count"`
+		P99us int64 `json:"p99_us"`
+	}
+	if err := json.Unmarshal(metrics["stage.sst_window"], &sstWindow); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d (p99 ≤ %d µs)\n", sstWindow.Count, sstWindow.P99us)
+
+	var trace funnel.PipelineTrace
+	if err := getJSON(base+"/traces/fe-rollout-7", &trace); err != nil {
+		log.Fatal(err)
+	}
+	if err := report.WriteTraceText(os.Stdout, &trace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// getJSON fetches one telemetry endpoint.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

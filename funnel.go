@@ -30,6 +30,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/funnel"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/sst"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -381,3 +382,32 @@ var (
 	LoadTrace   = workload.LoadTrace
 	WriteTrace  = workload.WriteTrace
 )
+
+// ---- Telemetry ----
+
+// Collector aggregates pipeline counters, per-stage latency histograms
+// and recent assessment traces; every method is a no-op on a nil
+// collector, so telemetry is strictly opt-in. Wire one through
+// Config.Obs (and Store.SetCollector for monitor-layer health) and
+// serve Collector.Handler() for /metrics, /debug/pprof/* and
+// /traces/<change-id>.
+type Collector = obs.Collector
+
+// NewCollector returns a ready collector with process-health gauges.
+var NewCollector = obs.NewCollector
+
+// PipelineTrace is the per-assessment pipeline trace attached to
+// Report.Trace when the assessor runs with a collector. (The Trace name
+// is taken by the workload corpus format above.)
+type PipelineTrace = obs.Trace
+
+// KPITrace is one KPI's stage-by-stage record inside a PipelineTrace.
+type KPITrace = obs.KPITrace
+
+// StageHistogram is a lock-free bounded-bucket latency histogram.
+type StageHistogram = obs.Histogram
+
+// InstrumentScorer wraps a scorer so every sliding-window evaluation is
+// timed into the collector's sst_window stage (pass-through on a nil
+// collector).
+var InstrumentScorer = funnel.InstrumentScorer

@@ -15,13 +15,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/changelog"
 	"repro/internal/funnel"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -37,6 +40,17 @@ type Config struct {
 	// endpoint (ingest may be disabled when measurements are fed
 	// programmatically).
 	IngestAddr, SubscribeAddr, AdminAddr string
+	// DebugAddr, when set, serves the telemetry HTTP surface —
+	// /metrics (expvar JSON), /debug/pprof/* and /traces/<change-id> —
+	// on that address. If Obs is nil a collector is created.
+	DebugAddr string
+	// Obs is the telemetry collector threaded through the store and
+	// the pipeline. Nil (with DebugAddr empty) disables telemetry; the
+	// hot path then pays only nil checks.
+	Obs *obs.Collector
+	// Logger receives lifecycle events (endpoints bound, changes
+	// registered, reports emitted). Nil disables logging.
+	Logger *slog.Logger
 }
 
 // Daemon is a running FUNNEL service.
@@ -44,10 +58,14 @@ type Daemon struct {
 	store  *monitor.Store
 	topo   *topo.Topology
 	online *funnel.Online
+	obs    *obs.Collector
+	log    *slog.Logger
 
 	ingest    *monitor.IngestServer
 	subscribe *monitor.Server
 	adminLn   net.Listener
+	debugLn   net.Listener
+	debugSrv  *http.Server
 
 	events chan func()
 	quit   chan struct{}
@@ -58,7 +76,7 @@ type Daemon struct {
 	closed    bool
 
 	// addresses as bound.
-	ingestAddr, subscribeAddr, adminAddr net.Addr
+	ingestAddr, subscribeAddr, adminAddr, debugAddr net.Addr
 }
 
 // RegisterRequest is the admin wire form of a change registration, one
@@ -82,6 +100,14 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("daemon: nil store")
 	}
+	col := cfg.Obs
+	if col == nil && cfg.DebugAddr != "" {
+		col = obs.NewCollector()
+	}
+	if col != nil {
+		cfg.Store.SetCollector(col)
+		cfg.Pipeline.Obs = col
+	}
 	tp := topo.NewTopology()
 	online, err := funnel.NewOnline(cfg.Store, tp, cfg.Pipeline)
 	if err != nil {
@@ -91,6 +117,8 @@ func Start(cfg Config) (*Daemon, error) {
 		store:  cfg.Store,
 		topo:   tp,
 		online: online,
+		obs:    col,
+		log:    cfg.Logger,
 		events: make(chan func(), 256),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -143,7 +171,33 @@ func Start(cfg Config) (*Daemon, error) {
 		d.adminAddr = ln.Addr()
 		go d.acceptAdmin(ln)
 	}
+	if cfg.DebugAddr != "" {
+		ln, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.debugLn = ln
+		d.debugAddr = ln.Addr()
+		d.debugSrv = &http.Server{Handler: col.Handler()}
+		go d.debugSrv.Serve(ln)
+	}
+	if d.log != nil {
+		d.log.Info("daemon started",
+			"ingest", addrString(d.ingestAddr),
+			"subscribe", addrString(d.subscribeAddr),
+			"admin", addrString(d.adminAddr),
+			"debug", addrString(d.debugAddr))
+	}
 	return d, nil
+}
+
+// addrString renders a possibly-nil bound address for logging.
+func addrString(a net.Addr) string {
+	if a == nil {
+		return ""
+	}
+	return a.String()
 }
 
 // IngestAddr returns the bound ingest address (nil if disabled).
@@ -156,6 +210,13 @@ func (d *Daemon) SubscribeAddr() net.Addr { return d.subscribeAddr }
 // AdminAddr returns the bound admin address (nil if disabled).
 func (d *Daemon) AdminAddr() net.Addr { return d.adminAddr }
 
+// DebugAddr returns the bound telemetry HTTP address (nil if disabled).
+func (d *Daemon) DebugAddr() net.Addr { return d.debugAddr }
+
+// Collector returns the daemon's telemetry collector (nil when neither
+// Config.Obs nor Config.DebugAddr was set).
+func (d *Daemon) Collector() *obs.Collector { return d.obs }
+
 // Reports delivers finished assessments.
 func (d *Daemon) Reports() <-chan *funnel.Report { return d.online.Reports() }
 
@@ -166,9 +227,17 @@ func (d *Daemon) Register(req RegisterRequest) error {
 	if req.ID == "" || req.Service == "" || len(req.Servers) == 0 {
 		return fmt.Errorf("daemon: registration needs id, service and servers")
 	}
-	typ := changelog.Upgrade
-	if req.Type == "config" {
+	if req.At.IsZero() {
+		return fmt.Errorf("daemon: registration needs a change time (at)")
+	}
+	var typ changelog.Type
+	switch req.Type {
+	case "", "upgrade":
+		typ = changelog.Upgrade
+	case "config":
 		typ = changelog.Config
+	default:
+		return fmt.Errorf("daemon: unknown change type %q (want upgrade or config)", req.Type)
 	}
 	errc := make(chan error, 1)
 	fn := func() {
@@ -184,6 +253,15 @@ func (d *Daemon) Register(req RegisterRequest) error {
 	case d.events <- fn:
 		select {
 		case err := <-errc:
+			if err == nil {
+				d.obs.Add(obs.CtrRegistrations, 1)
+				if d.log != nil {
+					d.log.Info("change registered",
+						"id", req.ID, "type", typ.String(),
+						"service", req.Service, "servers", len(req.Servers),
+						"at", req.At)
+				}
+			}
 			return err
 		case <-d.done:
 			return fmt.Errorf("daemon: closed")
@@ -242,17 +320,27 @@ func (d *Daemon) serveAdmin(conn net.Conn) {
 		}
 		var req RegisterRequest
 		if err := json.Unmarshal(line, &req); err != nil {
-			fmt.Fprintf(conn, "error: %v\n", err)
+			d.adminError(conn, err)
 			continue
 		}
 		if err := d.Register(req); err != nil {
-			fmt.Fprintf(conn, "error: %v\n", err)
+			d.adminError(conn, err)
 			continue
 		}
 		if _, err := io.WriteString(conn, "ok\n"); err != nil {
 			return
 		}
 	}
+}
+
+// adminError reports a rejected admin command on the wire, in the
+// telemetry counters, and in the log.
+func (d *Daemon) adminError(conn net.Conn, err error) {
+	d.obs.Add(obs.CtrAdminErrors, 1)
+	if d.log != nil {
+		d.log.Warn("admin command rejected", "err", err)
+	}
+	fmt.Fprintf(conn, "error: %v\n", err)
 }
 
 // Close shuts down the endpoints and the event loop, then closes the
@@ -275,8 +363,14 @@ func (d *Daemon) Close() {
 	if d.adminLn != nil {
 		d.adminLn.Close()
 	}
+	if d.debugSrv != nil {
+		d.debugSrv.Close()
+	}
 	d.adminConn.Wait()
 	close(d.quit)
 	<-d.done
 	d.online.Close()
+	if d.log != nil {
+		d.log.Info("daemon stopped")
+	}
 }

@@ -3,15 +3,18 @@ package daemon
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/funnel"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -31,6 +34,7 @@ func startDaemon(t *testing.T) (*Daemon, time.Time) {
 		IngestAddr:    "127.0.0.1:0",
 		SubscribeAddr: "127.0.0.1:0",
 		AdminAddr:     "127.0.0.1:0",
+		DebugAddr:     "127.0.0.1:0",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,13 +124,159 @@ func TestDaemonAdminErrors(t *testing.T) {
 	defer admin.Close()
 	r := bufio.NewReader(admin)
 
-	fmt.Fprintln(admin, `{broken json`)
-	if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "error:") {
-		t.Fatalf("garbage got %q", resp)
+	// One good registration first, so the duplicate case below has
+	// something to collide with.
+	good := `{"id":"dup","type":"upgrade","service":"svc","servers":["s1"],"at":"2015-12-01T04:00:00Z"}`
+	fmt.Fprintln(admin, good)
+	if resp, _ := r.ReadString('\n'); strings.TrimSpace(resp) != "ok" {
+		t.Fatalf("valid registration got %q", resp)
 	}
-	fmt.Fprintln(admin, `{"id":"","service":"","servers":[]}`)
-	if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "error:") {
-		t.Fatalf("empty registration got %q", resp)
+
+	cases := []struct {
+		name, line, wantSub string
+	}{
+		{"broken json", `{broken json`, "invalid character"},
+		{"wrong field type", `{"id":42,"service":"svc","servers":["s1"],"at":"2015-12-01T04:00:00Z"}`, "cannot unmarshal"},
+		{"empty registration", `{"id":"","service":"","servers":[]}`, "needs id, service and servers"},
+		{"unknown change type", `{"id":"t1","type":"rollback","service":"svc","servers":["s1"],"at":"2015-12-01T04:00:00Z"}`, `unknown change type "rollback"`},
+		{"missing at", `{"id":"t2","type":"upgrade","service":"svc","servers":["s1"]}`, "needs a change time"},
+		{"duplicate change id", good, `"dup" already registered`},
+	}
+	for _, tc := range cases {
+		fmt.Fprintln(admin, tc.line)
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: read: %v", tc.name, err)
+		}
+		if !strings.HasPrefix(resp, "error: ") {
+			t.Errorf("%s: got %q, want error-prefixed line", tc.name, resp)
+		}
+		if !strings.Contains(resp, tc.wantSub) {
+			t.Errorf("%s: got %q, want substring %q", tc.name, resp, tc.wantSub)
+		}
+	}
+
+	col := d.Collector()
+	if got := col.Counter(obs.CtrAdminErrors); got != int64(len(cases)) {
+		t.Errorf("%s = %d, want %d", obs.CtrAdminErrors, got, len(cases))
+	}
+	if got := col.Counter(obs.CtrRegistrations); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.CtrRegistrations, got)
+	}
+}
+
+// TestDaemonDebugSurface drives the full deployed loop — register over
+// the admin endpoint, publish the scenario over ingest, receive the
+// report — then reads the telemetry HTTP surface back: /metrics must
+// show nonzero pipeline stage counters and /traces/<change-id> must
+// hold the per-KPI stage trace with the DiD verdict.
+func TestDaemonDebugSurface(t *testing.T) {
+	d, start := startDaemon(t)
+	defer d.Close()
+	if err := d.DeployService("kv.cache", "d-0", "d-1", "d-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(RegisterRequest{
+		ID: "d-chg", Type: "config", Service: "kv.cache",
+		Servers: []string{"d-0"}, At: start.Add(changeMin * time.Minute),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	publishScenario(t, d.IngestAddr(), start, changeMin+200)
+	select {
+	case rep := <-d.Reports():
+		if len(rep.Flagged()) != 1 {
+			t.Fatalf("flagged = %+v", rep.Flagged())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("no report from the daemon")
+	}
+
+	base := "http://" + d.DebugAddr().String()
+
+	// /metrics: expvar JSON with counters and stage histograms.
+	var metrics map[string]any
+	getJSON(t, base+"/metrics", &metrics)
+	if v, _ := metrics[obs.CtrChangesAssessed].(float64); v < 1 {
+		t.Errorf("%s = %v, want >= 1", obs.CtrChangesAssessed, metrics[obs.CtrChangesAssessed])
+	}
+	if v, _ := metrics[obs.CtrIngested].(float64); v == 0 {
+		t.Errorf("%s missing from /metrics", obs.CtrIngested)
+	}
+	for _, stage := range []string{obs.StageImpactSet, obs.StageSSTWindow, obs.StageSSTScore, obs.StagePersist, obs.StageAssess} {
+		h, ok := metrics["stage."+stage].(map[string]any)
+		if !ok {
+			t.Errorf("stage.%s missing from /metrics", stage)
+			continue
+		}
+		if cnt, _ := h["count"].(float64); cnt < 1 {
+			t.Errorf("stage.%s count = %v, want >= 1", stage, h["count"])
+		}
+	}
+
+	// /traces/<change-id>: the per-assessment trace.
+	var trace struct {
+		ChangeID string `json:"change_id"`
+		TotalNS  int64  `json:"total_ns"`
+		KPIs     []struct {
+			Key     string `json:"key"`
+			Verdict string `json:"verdict"`
+			Alpha   float64
+			Stages  []struct {
+				Stage string `json:"stage"`
+				NS    int64  `json:"ns"`
+			} `json:"stages"`
+		} `json:"kpis"`
+	}
+	getJSON(t, base+"/traces/d-chg", &trace)
+	if trace.ChangeID != "d-chg" || trace.TotalNS <= 0 || len(trace.KPIs) == 0 {
+		t.Fatalf("trace = %+v", trace)
+	}
+	flagged := 0
+	for _, k := range trace.KPIs {
+		if len(k.Stages) == 0 {
+			t.Errorf("KPI %s trace has no stage timings", k.Key)
+		}
+		for _, s := range k.Stages {
+			if s.NS < 0 {
+				t.Errorf("KPI %s stage %s has negative duration", k.Key, s.Stage)
+			}
+		}
+		if k.Verdict == "changed-by-software" {
+			flagged++
+			if k.Alpha == 0 {
+				t.Errorf("flagged KPI %s has zero alpha in trace", k.Key)
+			}
+		}
+	}
+	if flagged != 1 {
+		t.Errorf("trace flagged KPIs = %d, want 1", flagged)
+	}
+
+	// Unknown change IDs 404.
+	resp, err := http.Get(base + "/traces/no-such-change")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// getJSON fetches a URL and decodes its JSON body.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
 	}
 }
 

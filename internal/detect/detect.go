@@ -104,6 +104,11 @@ type Detector struct {
 	// keeps one change from fragmenting into several short runs that
 	// the persistence rule would all discard. Negative means 0.
 	MaxGap int
+	// OnRun, when set, is called once per closed score run with
+	// whether the persistence rule declared it (true) or discarded it
+	// as a one-off event (false). Telemetry hooks on it to count
+	// gating decisions without touching the scan loop.
+	OnRun func(declared bool)
 }
 
 // New returns a Detector for the scorer with the given threshold, the
@@ -125,6 +130,15 @@ func (d *Detector) persistence() int {
 // one-off events of §4.1 — are discarded.
 func (d *Detector) Detect(x []float64) []Detection {
 	scores := sst.ScoreSeries(d.Scorer, x)
+	return d.DetectScored(x, scores)
+}
+
+// DetectScored applies only the persistence-rule gating to a
+// precomputed score slice aligned with x. Callers that already hold
+// scores (telemetry separating the scoring stage from the gating
+// stage, threshold sweeps re-gating one scoring pass) avoid re-running
+// the scorer.
+func (d *Detector) DetectScored(x, scores []float64) []Detection {
 	return d.fromScores(x, scores)
 }
 
@@ -151,16 +165,21 @@ func (d *Detector) fromScores(x, scores []float64) []Detection {
 	peak := 0.0
 
 	flush := func() {
-		if run >= 0 && hits >= per {
-			det := Detection{
-				Start:       run,
-				DeclaredAt:  declared,
-				AvailableAt: declared + future - 1,
-				End:         lastHit,
-				Peak:        peak,
+		if run >= 0 {
+			if d.OnRun != nil {
+				d.OnRun(hits >= per)
 			}
-			det.Kind = Classify(x, det.Start, det.End)
-			out = append(out, det)
+			if hits >= per {
+				det := Detection{
+					Start:       run,
+					DeclaredAt:  declared,
+					AvailableAt: declared + future - 1,
+					End:         lastHit,
+					Peak:        peak,
+				}
+				det.Kind = Classify(x, det.Start, det.End)
+				out = append(out, det)
+			}
 		}
 		run, lastHit, hits, declared, peak = -1, -1, 0, -1, 0
 	}

@@ -48,6 +48,14 @@ func (r Result) Causal(alphaThreshold float64) bool {
 	return math.Abs(r.Alpha) >= alphaThreshold
 }
 
+// Significant reports whether the estimate is statistically
+// significant at the given minimum |t|-statistic — the second half of
+// the attribution rule (Eq. 15 exists "to obtain the standard errors
+// and significance levels for the DiD estimator").
+func (r Result) Significant(minT float64) bool {
+	return math.Abs(r.TStat) >= minT
+}
+
 // Estimate computes the DiD estimator from the four group samples:
 // treated pre/post and control pre/post period measurements. Each slice
 // holds the pooled KPI samples of that group and period (multiple

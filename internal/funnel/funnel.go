@@ -9,12 +9,12 @@ package funnel
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/changelog"
 	"repro/internal/detect"
 	"repro/internal/did"
+	"repro/internal/obs"
 	"repro/internal/sst"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -85,6 +85,11 @@ type Config struct {
 	// contamination, pre-existing drift). The verdict is unchanged —
 	// the warning tells the operations team to double-check manually.
 	VerifyParallelTrends bool
+	// Obs, when set, collects per-stage counters and latency
+	// histograms and attaches a per-assessment trace to each Report.
+	// Nil (the default) disables all instrumentation; the hot
+	// per-window path then pays only a construction-time branch.
+	Obs *obs.Collector
 }
 
 // DefaultDetectorThreshold is the zero-value detection threshold. It
@@ -161,6 +166,9 @@ type Assessment struct {
 	Detection detect.Detection
 	// Alpha is the DiD impact estimator (0 when DiD did not run).
 	Alpha float64
+	// TStat is α/SE(α), the DiD significance statistic (0 when DiD
+	// did not run; ±Inf when the standard error vanishes).
+	TStat float64
 	// ControlKind records which control group DiD used.
 	ControlKind ControlKind
 	// TrendWarning is set (only when Config.VerifyParallelTrends is
@@ -210,6 +218,9 @@ type Report struct {
 	Set         *topo.ImpactSet
 	ChangeBin   int
 	Assessments []Assessment
+	// Trace is the per-KPI stage record of this assessment; nil
+	// unless the assessor was configured with a collector.
+	Trace *obs.Trace
 }
 
 // Flagged returns the assessments attributed to the software change.
@@ -231,6 +242,7 @@ type Assessor struct {
 	topo   *topo.Topology
 	scorer sst.Scorer
 	det    *detect.Detector
+	obs    *obs.Collector
 }
 
 // NewAssessor builds an assessor. It returns an error when the SST
@@ -240,22 +252,75 @@ func NewAssessor(source SeriesSource, tp *topo.Topology, cfg Config) (*Assessor,
 	if err := cfg.SST.Validate(); err != nil {
 		return nil, err
 	}
-	scorer := sst.NewIKA(cfg.SST)
+	scorer := InstrumentScorer(sst.NewIKA(cfg.SST), cfg.Obs)
 	det := detect.New(scorer, cfg.DetectorThreshold)
 	det.Persistence = cfg.Persistence
 	// §4.1's rule requires 7 minutes of change evidence, not 7
 	// gap-free windows: on bursty KPIs the score wobbles through a
 	// transition, so the run tolerates short sub-threshold stretches.
 	det.MaxGap = 5
-	return &Assessor{cfg: cfg, source: source, topo: tp, scorer: scorer, det: det}, nil
+	if col := cfg.Obs; col != nil {
+		det.OnRun = func(declared bool) {
+			if declared {
+				col.Add(obs.CtrRunsDeclared, 1)
+			} else {
+				col.Add(obs.CtrRunsDiscarded, 1)
+			}
+		}
+	}
+	return &Assessor{cfg: cfg, source: source, topo: tp, scorer: scorer, det: det, obs: cfg.Obs}, nil
+}
+
+// InstrumentScorer wraps a scorer so every sliding-window evaluation
+// is counted and timed under obs.StageSSTWindow. A nil collector
+// returns the scorer unchanged — uninstrumented deployments pay
+// nothing on the Table-2 hot path.
+func InstrumentScorer(s sst.Scorer, c *obs.Collector) sst.Scorer {
+	if c == nil {
+		return s
+	}
+	return instrumentedScorer{inner: s, col: c}
+}
+
+// instrumentedScorer times each per-window score.
+type instrumentedScorer struct {
+	inner sst.Scorer
+	col   *obs.Collector
+}
+
+// Config returns the wrapped scorer's resolved geometry.
+func (s instrumentedScorer) Config() sst.Config { return s.inner.Config() }
+
+// ScoreAt scores one window and records its latency.
+func (s instrumentedScorer) ScoreAt(x []float64, t int) float64 {
+	start := time.Now()
+	v := s.inner.ScoreAt(x, t)
+	s.col.Observe(obs.StageSSTWindow, time.Since(start))
+	return v
+}
+
+// stamp records a stage duration in the collector's histogram and on
+// the per-KPI trace. No-op without a collector, so callers can stamp
+// unconditionally with the (zero) start obtained from obs.Now.
+func (a *Assessor) stamp(kt *obs.KPITrace, stage string, start time.Time) {
+	if a.obs == nil {
+		return
+	}
+	d := time.Since(start)
+	a.obs.Observe(stage, d)
+	kt.AddStage(stage, d)
 }
 
 // Config returns the resolved configuration.
 func (a *Assessor) Config() Config { return a.cfg }
 
-// Assess runs the full pipeline for one software change.
+// Assess runs the full pipeline for one software change. With a
+// collector configured, every stage is counted and timed, and the
+// report carries (and the collector stores) a per-KPI trace.
 func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
+	t0 := a.obs.Now()
 	set, err := a.topo.IdentifyImpactSet(change.Service, change.Servers)
+	a.obs.ObserveSince(obs.StageImpactSet, t0)
 	if err != nil {
 		return nil, err
 	}
@@ -264,18 +329,50 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 		return nil, fmt.Errorf("funnel: impact set of %s has no KPIs — configure ServerMetrics/InstanceMetrics", change.ID)
 	}
 	report := &Report{Change: change, Set: set}
+	var tr *obs.Trace
+	if a.obs != nil {
+		tr = &obs.Trace{ChangeID: change.ID, Service: change.Service, At: change.At}
+	}
 	for _, key := range keys {
-		assessment := a.assessKPI(change, set, key, &report.ChangeBin)
+		assessment := a.assessKPI(change, set, key, &report.ChangeBin, tr)
 		report.Assessments = append(report.Assessments, assessment)
+	}
+	if tr != nil {
+		tr.Nanos = int64(time.Since(t0))
+		report.Trace = tr
+		a.obs.PutTrace(tr)
+		a.obs.ObserveSince(obs.StageAssess, t0)
+		a.obs.Add(obs.CtrChangesAssessed, 1)
+		a.obs.Add(obs.CtrKPIsAssessed, int64(len(report.Assessments)))
+		a.obs.Add(obs.CtrKPIsFlagged, int64(len(report.Flagged())))
 	}
 	return report, nil
 }
 
 // assessKPI runs detection and determination for one KPI.
 // changeBinOut receives the change's bin index in the series timeline
-// (same for all KPIs of a change; stored once on the report).
-func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, changeBinOut *int) Assessment {
+// (same for all KPIs of a change; stored once on the report). tr, when
+// non-nil, receives this KPI's stage trace.
+func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, changeBinOut *int, tr *obs.Trace) Assessment {
 	out := Assessment{Key: key}
+	var kt *obs.KPITrace
+	if tr != nil {
+		kt = &obs.KPITrace{Key: key.String()}
+		defer func() {
+			kt.Verdict = out.Verdict.String()
+			if out.Verdict != NoChange {
+				kt.Score = out.Detection.Peak
+				kt.Kind = out.Detection.Kind.String()
+				kt.Control = out.ControlKind.String()
+				kt.Alpha = obs.Finite(out.Alpha)
+				kt.TStat = obs.Finite(out.TStat)
+			}
+			if out.Err != nil {
+				kt.Err = out.Err.Error()
+			}
+			tr.Add(kt)
+		}()
+	}
 	series, ok := a.source.Series(key)
 	if !ok && key.Scope == topo.ScopeService {
 		// The paper's centralized database stores service KPIs as
@@ -311,7 +408,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 
 	// Step 2 of Fig. 3: KPI change detection over the assessment
 	// window around the change.
-	detection, found := a.detectAround(series, changeBin)
+	detection, found := a.detectAround(series, changeBin, kt)
 	if a.cfg.SkipDetection {
 		found = true
 		if detection.Start == 0 && detection.End == 0 {
@@ -328,11 +425,12 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 	}
 
 	// Steps 4–11: determine the cause.
-	causal, alpha, ckind, trendWarn, similarity, err := a.determine(change, set, key, series, changeBin)
-	out.Alpha = alpha
-	out.ControlKind = ckind
-	out.TrendWarning = trendWarn
-	out.ControlSimilarity = similarity
+	det, err := a.determine(change, set, key, series, changeBin, kt)
+	out.Alpha = det.res.Alpha
+	out.TStat = det.res.TStat
+	out.ControlKind = det.kind
+	out.TrendWarning = det.trendWarn
+	out.ControlSimilarity = det.similarity
 	if err != nil {
 		// No usable control: deliver the detection for manual
 		// inspection, flagged as software-caused (conservative).
@@ -340,7 +438,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		out.Verdict = ChangedBySoftware
 		return out
 	}
-	if causal {
+	if det.causal {
 		out.Verdict = ChangedBySoftware
 	} else {
 		out.Verdict = ChangedByOther
@@ -350,8 +448,10 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 
 // detectAround runs the detector on the ±WindowBins assessment window
 // and returns the first detection whose run touches the post-change
-// half, with indices translated to absolute series positions.
-func (a *Assessor) detectAround(series *timeseries.Series, changeBin int) (detect.Detection, bool) {
+// half, with indices translated to absolute series positions. The
+// scoring pass and the persistence gating are timed as separate
+// stages.
+func (a *Assessor) detectAround(series *timeseries.Series, changeBin int, kt *obs.KPITrace) (detect.Detection, bool) {
 	w := a.cfg.WindowBins
 	lo := changeBin - w - a.cfg.SST.PastSpan()
 	if lo < 0 {
@@ -362,7 +462,13 @@ func (a *Assessor) detectAround(series *timeseries.Series, changeBin int) (detec
 		hi = series.Len()
 	}
 	segment := series.Values[lo:hi]
-	for _, d := range a.det.Detect(segment) {
+	ts := a.obs.Now()
+	scores := sst.ScoreSeries(a.scorer, segment)
+	a.stamp(kt, obs.StageSSTScore, ts)
+	tp := a.obs.Now()
+	dets := a.det.DetectScored(segment, scores)
+	a.stamp(kt, obs.StagePersist, tp)
+	for _, d := range dets {
 		d.Start += lo
 		d.DeclaredAt += lo
 		d.AvailableAt += lo
@@ -377,11 +483,23 @@ func (a *Assessor) detectAround(series *timeseries.Series, changeBin int) (detec
 	return detect.Detection{}, false
 }
 
+// determination is the outcome of the Fig. 3 cause-determination
+// subtree for one KPI.
+type determination struct {
+	causal     bool
+	res        did.Result
+	kind       ControlKind
+	trendWarn  bool
+	similarity float64
+}
+
 // determine applies the Fig. 3 decision tree for cause determination.
-func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int) (causal bool, alpha float64, ckind ControlKind, trendWarn bool, similarity float64, err error) {
+// Control-group selection and DiD estimation are timed as separate
+// stages.
+func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int, kt *obs.KPITrace) (determination, error) {
 	w := a.cfg.DiDWindow
 	if changeBin-w < 0 || changeBin+w > series.Len() {
-		return false, 0, ControlNone, false, 0, fmt.Errorf("funnel: DiD periods out of range for %v", key)
+		return determination{}, fmt.Errorf("funnel: DiD periods out of range for %v", key)
 	}
 
 	// Step 4: affected-service KPIs have no concurrent control; step 7:
@@ -389,6 +507,7 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 	// special: §3.2.4 compares the tinstances (treated) against the
 	// cinstances (control) for it, so under Dark Launching it does have
 	// a concurrent control group.
+	tc := a.obs.Now()
 	controls := set.ControlKPIs(key)
 	if key.Scope == topo.ScopeService && key.Entity == set.ChangedService && set.Dark() {
 		// The caller already swapped in the tinstance average as the
@@ -399,30 +518,40 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 	}
 	if set.Dark() && len(controls) > 0 {
 		// Steps 8–10: concurrent control group.
+		out := determination{kind: ControlConcurrent}
 		control, cerr := a.controlAverage(controls)
 		if cerr != nil {
-			return false, 0, ControlNone, false, 0, cerr
+			a.stamp(kt, obs.StageDiDControl, tc)
+			return determination{}, cerr
 		}
 		tPre, tPost := series.Around(changeBin, w)
 		cb, inRange := control.IndexOf(change.At)
 		if !inRange || cb-w < 0 || cb+w > control.Len() {
-			return false, 0, ControlNone, false, 0, fmt.Errorf("funnel: control series too short for %v", key)
+			a.stamp(kt, obs.StageDiDControl, tc)
+			return determination{}, fmt.Errorf("funnel: control series too short for %v", key)
 		}
 		cPre, cPost := control.Around(cb, w)
 		// §3.2.4 observation 1: verify the load-balancing similarity
 		// the DiD comparison rests on.
-		similarity = stats.Correlation(tPre, cPre)
+		out.similarity = stats.Correlation(tPre, cPre)
+		a.stamp(kt, obs.StageDiDControl, tc)
+
+		te := a.obs.Now()
 		np, nq, ncp, ncq := did.NormalizeGroups(tPre, tPost, cPre, cPost)
 		res, derr := did.Estimate(np, nq, ncp, ncq)
 		if derr != nil {
-			return false, 0, ControlNone, false, similarity, derr
+			a.stamp(kt, obs.StageDiDEstimate, te)
+			return determination{similarity: out.similarity}, derr
 		}
 		if a.cfg.VerifyParallelTrends {
 			if chk, terr := did.ParallelTrends(series, control, changeBin, w, a.cfg.AlphaThreshold); terr == nil && !chk.Parallel {
-				trendWarn = true
+				out.trendWarn = true
 			}
 		}
-		return a.causal(res, serviceOf(set, key)), res.Alpha, ControlConcurrent, trendWarn, similarity, nil
+		out.res = res
+		out.causal = a.causal(res, serviceOf(set, key))
+		a.stamp(kt, obs.StageDiDEstimate, te)
+		return out, nil
 	}
 
 	// Steps 5–6, 11: seasonal exclusion against historical windows.
@@ -437,21 +566,27 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 	if !ok {
 		cPre, cPost, ok = did.HistoricalControl(series, changeBin, w, a.cfg.HistoryDays)
 	}
+	a.stamp(kt, obs.StageDiDControl, tc)
 	if !ok {
-		return false, 0, ControlNone, false, 0, fmt.Errorf("funnel: no historical control for %v", key)
+		return determination{}, fmt.Errorf("funnel: no historical control for %v", key)
 	}
+	te := a.obs.Now()
 	tPre, tPost := series.Around(changeBin, w)
 	np, nq, ncp, ncq := did.NormalizeGroups(tPre, tPost, cPre, cPost)
 	res, derr := did.Estimate(np, nq, ncp, ncq)
 	if derr != nil {
-		return false, 0, ControlNone, false, 0, derr
+		a.stamp(kt, obs.StageDiDEstimate, te)
+		return determination{}, derr
 	}
+	out := determination{kind: ControlHistorical, res: res}
 	if a.cfg.VerifyParallelTrends {
 		if chk, terr := did.PlaceboSeasonal(series, changeBin, w, a.cfg.HistoryDays, a.cfg.AlphaThreshold); terr == nil && !chk.Parallel {
-			trendWarn = true
+			out.trendWarn = true
 		}
 	}
-	return a.causal(res, serviceOf(set, key)), res.Alpha, ControlHistorical, trendWarn, 0, nil
+	out.causal = a.causal(res, serviceOf(set, key))
+	a.stamp(kt, obs.StageDiDEstimate, te)
+	return out, nil
 }
 
 // serviceOf resolves which service's sensitivity governs a KPI: the
@@ -471,7 +606,7 @@ func (a *Assessor) causal(res did.Result, service string) bool {
 	if o, ok := a.cfg.AlphaOverrides[service]; ok && o > 0 {
 		thr = o
 	}
-	return res.Causal(thr) && math.Abs(res.TStat) >= a.cfg.MinTStat
+	return res.Causal(thr) && res.Significant(a.cfg.MinTStat)
 }
 
 // groupAverage averages one metric across a set of instances.

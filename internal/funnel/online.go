@@ -1,6 +1,7 @@
 package funnel
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/changelog"
@@ -25,6 +26,7 @@ type Online struct {
 
 	mu      sync.Mutex
 	pending []pendingChange
+	seen    map[string]bool // change IDs ever registered
 	out     chan *Report
 	closed  bool
 }
@@ -51,6 +53,7 @@ func NewOnline(store *monitor.Store, tp *topo.Topology, cfg Config) (*Online, er
 	return &Online{
 		assessor: assessor,
 		store:    store,
+		seen:     make(map[string]bool),
 		out:      make(chan *Report, 16),
 	}, nil
 }
@@ -61,7 +64,9 @@ func (o *Online) Reports() <-chan *Report { return o.out }
 
 // RegisterChange records a deployed software change for assessment.
 // The change must reference a known service (impact-set identification
-// runs immediately to fail fast on bad registrations).
+// runs immediately to fail fast on bad registrations) and carry a
+// change ID never registered before — duplicate registrations would
+// double-assess and double-report the same rollout.
 func (o *Online) RegisterChange(c changelog.Change) error {
 	set, err := o.assessor.topo.IdentifyImpactSet(c.Service, c.Servers)
 	if err != nil {
@@ -75,8 +80,12 @@ func (o *Online) RegisterChange(c changelog.Change) error {
 		probe = topo.KPIKey{Scope: topo.ScopeInstance, Entity: set.TInstances[0], Metric: firstMetric(cfg)}
 	}
 	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.seen[c.ID] {
+		return fmt.Errorf("funnel: change %q already registered", c.ID)
+	}
+	o.seen[c.ID] = true
 	o.pending = append(o.pending, pendingChange{change: c, readyBin: ready, probe: probe})
-	o.mu.Unlock()
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // IngestServer is the inbound half of the substrate: per-server agents
@@ -70,6 +72,9 @@ func (s *IngestServer) Close() error {
 // connection drops or a malformed frame arrives.
 func (s *IngestServer) handle(conn net.Conn) {
 	defer conn.Close()
+	col := s.store.Collector()
+	col.Add(obs.CtrConnsActive, 1)
+	defer col.Add(obs.CtrConnsActive, -1)
 	r := bufio.NewReader(conn)
 	for {
 		payload, err := ReadFrame(r)

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -120,6 +121,54 @@ func TestSubscribeDropOldestWhenSlow(t *testing.T) {
 	a, b := <-ch, <-ch
 	if a.V != 3 || b.V != 4 {
 		t.Fatalf("kept %v and %v, want 3 and 4", a.V, b.V)
+	}
+}
+
+func TestSubscribeReportsDropCount(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	col := obs.NewCollector()
+	s.SetCollector(col)
+	_, cancel := s.Subscribe(nil, 1)
+	if got := col.Counter(obs.CtrSubsActive); got != 1 {
+		t.Fatalf("subs_active = %d, want 1", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	// Buffer of 1, nothing drained: appends 2..5 each evict a
+	// predecessor, so 4 measurements were lost on this subscription.
+	if got := cancel(); got != 4 {
+		t.Fatalf("cancel() drop count = %d, want 4", got)
+	}
+	if got := cancel(); got != 4 {
+		t.Fatalf("second cancel() = %d, want the same 4", got)
+	}
+	if got := col.Counter(obs.CtrPushDrops); got != 4 {
+		t.Fatalf("%s = %d, want 4", obs.CtrPushDrops, got)
+	}
+	if got := col.Counter(obs.CtrIngested); got != 5 {
+		t.Fatalf("%s = %d, want 5", obs.CtrIngested, got)
+	}
+	// Every append landed in the buffer after evicting: 5 pushes.
+	if got := col.Counter(obs.CtrPushes); got != 5 {
+		t.Fatalf("%s = %d, want 5", obs.CtrPushes, got)
+	}
+	if got := col.Counter(obs.CtrSubsActive); got != 0 {
+		t.Fatalf("subs_active after cancel = %d, want 0", got)
+	}
+}
+
+func TestSubscribeNoDropsFastConsumer(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	ch, cancel := s.Subscribe(nil, 8)
+	for i := 0; i < 5; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		<-ch
+	}
+	if got := cancel(); got != 0 {
+		t.Fatalf("cancel() drop count = %d, want 0", got)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -82,6 +83,9 @@ func (s *Server) Wait() { s.handlers.Wait() }
 // handle serves one subscriber connection.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	col := s.store.Collector()
+	col.Add(obs.CtrConnsActive, 1)
+	defer col.Add(obs.CtrConnsActive, -1)
 	r := bufio.NewReader(conn)
 	payload, err := ReadFrame(r)
 	if err != nil {

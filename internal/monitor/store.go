@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/topo"
 )
@@ -33,12 +34,17 @@ type Store struct {
 	series map[topo.KPIKey][]float64
 	subs   map[int]*subscription
 	nextID int
+	obs    *obs.Collector
 }
 
 // subscription is one registered measurement listener.
 type subscription struct {
 	ch     chan Measurement
 	filter func(topo.KPIKey) bool
+	// drops counts measurements this subscription lost because its
+	// buffer was full (guarded by the store mutex, which Append
+	// holds during delivery).
+	drops int
 }
 
 // NewStore returns a store binning measurements at the given step from
@@ -53,6 +59,22 @@ func NewStore(start time.Time, step time.Duration) *Store {
 		series: make(map[topo.KPIKey][]float64),
 		subs:   make(map[int]*subscription),
 	}
+}
+
+// SetCollector attaches a telemetry collector. Ingest counts, delivery
+// pushes and slow-subscriber drops are reported to it. A nil collector
+// (the default) keeps every hook a no-op.
+func (s *Store) SetCollector(c *obs.Collector) {
+	s.mu.Lock()
+	s.obs = c
+	s.mu.Unlock()
+}
+
+// Collector returns the attached telemetry collector (possibly nil).
+func (s *Store) Collector() *obs.Collector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obs
 }
 
 // Start returns the store's epoch (which Prune advances).
@@ -85,6 +107,7 @@ func (s *Store) Append(m Measurement) {
 	}
 	buf[idx] = m.V
 	s.series[m.Key] = buf
+	var pushes, drops int64
 	// Deliver to subscribers under the read of subs; the channel sends
 	// are non-blocking.
 	for _, sub := range s.subs {
@@ -93,19 +116,29 @@ func (s *Store) Append(m Measurement) {
 		}
 		select {
 		case sub.ch <- m:
+			pushes++
 		default:
-			// Drop-oldest: make room and retry once.
+			// Drop-oldest: make room and retry once. Either way a
+			// measurement was lost on this subscription — the evicted
+			// one or, if the buffer refilled underneath us, this one.
+			sub.drops++
+			drops++
 			select {
 			case <-sub.ch:
 			default:
 			}
 			select {
 			case sub.ch <- m:
+				pushes++
 			default:
 			}
 		}
 	}
+	col := s.obs
 	s.mu.Unlock()
+	col.Add(obs.CtrIngested, 1)
+	col.Add(obs.CtrPushes, pushes)
+	col.Add(obs.CtrPushDrops, drops)
 }
 
 // Series returns a copy of the key's series from the store epoch
@@ -239,9 +272,12 @@ func (s *Store) Subscribers() int {
 
 // Subscribe registers a listener for measurements whose key passes the
 // filter (nil matches everything). buffer is the channel capacity
-// (min 1). Cancel releases the subscription; the channel is closed by
-// Cancel and must not be closed by the caller.
-func (s *Store) Subscribe(filter func(topo.KPIKey) bool, buffer int) (ch <-chan Measurement, cancel func()) {
+// (min 1). Cancel releases the subscription and returns the number of
+// measurements this subscription lost to a full buffer — slow
+// subscribers no longer lose data invisibly. The channel is closed by
+// cancel and must not be closed by the caller; calling cancel again
+// returns the same count.
+func (s *Store) Subscribe(filter func(topo.KPIKey) bool, buffer int) (ch <-chan Measurement, cancel func() int) {
 	if buffer < 1 {
 		buffer = 1
 	}
@@ -250,14 +286,19 @@ func (s *Store) Subscribe(filter func(topo.KPIKey) bool, buffer int) (ch <-chan 
 	id := s.nextID
 	s.nextID++
 	s.subs[id] = sub
+	s.obs.Add(obs.CtrSubsActive, 1)
 	s.mu.Unlock()
 	var once sync.Once
-	return sub.ch, func() {
+	var dropped int
+	return sub.ch, func() int {
 		once.Do(func() {
 			s.mu.Lock()
 			delete(s.subs, id)
+			dropped = sub.drops
+			s.obs.Add(obs.CtrSubsActive, -1)
 			s.mu.Unlock()
 			close(sub.ch)
 		})
+		return dropped
 	}
 }

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler returns the debug/admin HTTP surface of a collector:
+//
+//	/metrics              counters, stage histograms, runtime gauges
+//	                      (one expvar-style JSON object)
+//	/debug/pprof/*        the standard Go profiling endpoints
+//	/traces               change IDs with a stored trace, oldest first
+//	/traces/<change-id>   the per-KPI assessment trace as JSON
+//	/                     a plain-text index of the above
+//
+// A nil collector serves 404 for everything, so callers can wire the
+// handler unconditionally.
+func (c *Collector) Handler() http.Handler {
+	if c == nil {
+		return http.NotFoundHandler()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		c.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		ids := c.traces.IDs()
+		if ids == nil {
+			ids = []string{}
+		}
+		json.NewEncoder(w).Encode(ids)
+	})
+	mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/traces/")
+		t, ok := c.traces.Get(id)
+		if !ok {
+			http.Error(w, "no trace for change "+id, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("funnel debug surface\n" +
+			"  /metrics              stage counters and histograms\n" +
+			"  /traces               stored change IDs\n" +
+			"  /traces/<change-id>   per-KPI assessment trace\n" +
+			"  /debug/pprof/         profiling endpoints\n"))
+	})
+	return mux
+}

@@ -1,0 +1,239 @@
+// Package obs is the telemetry layer of the FUNNEL reproduction: named
+// counters, bounded-bucket latency histograms for every pipeline stage,
+// and per-assessment traces, all built on the standard library only
+// (expvar for the variable registry and JSON rendering, net/http/pprof
+// for profiles, runtime/metrics for process health).
+//
+// The paper's headline claim is operational — 24,119 changes assessed
+// per day over 2.26M KPIs within minutes (Table 3) — and a deployment
+// earns trust only when each of those decisions can be inspected: which
+// stage spent the time, what the detector score was at decision time,
+// which control group DiD chose, and why the verdict came out the way
+// it did. A Collector answers the aggregate questions via /metrics; a
+// Trace answers the per-change questions via /traces/<change-id>.
+//
+// Every method is a nil-safe no-op on a nil *Collector, so library
+// users who configure no telemetry pay only a nil check — the 401.8 µs
+// per-window budget of Table 2 is preserved (BenchmarkPerWindowFUNNEL
+// guards the overhead).
+package obs
+
+import (
+	"expvar"
+	"io"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Pipeline stage names: one latency histogram per stage, published in
+// the metrics JSON as "stage.<name>".
+const (
+	// StageImpactSet is §3.1's impact-set construction.
+	StageImpactSet = "impact_set"
+	// StageSSTWindow is one sliding-window SST score (the Table-2
+	// unit); observed once per window by the instrumented scorer.
+	StageSSTWindow = "sst_window"
+	// StageSSTScore is the whole scoring pass over one KPI's
+	// assessment window (all sliding windows of that KPI).
+	StageSSTScore = "sst_score"
+	// StagePersist is the persistence-rule gating pass (§4.1) that
+	// turns pointwise scores into declared detections.
+	StagePersist = "persist"
+	// StageDiDControl is DiD control-group selection: concurrent
+	// dark-launch averaging (§3.2.4) or historical window extraction
+	// (§3.2.5).
+	StageDiDControl = "did_control"
+	// StageDiDEstimate is DiD normalization, estimation and the
+	// attribution decision (Eqs. 15–16).
+	StageDiDEstimate = "did_estimate"
+	// StageRender is report rendering (text or JSON).
+	StageRender = "render"
+	// StageAssess is one whole change assessment end to end.
+	StageAssess = "assess"
+)
+
+// Counter names. Counters are expvar.Ints inside the collector's map;
+// gauges are counters that are decremented again (e.g. active conns).
+const (
+	// CtrIngested counts measurements appended to the KPI store.
+	CtrIngested = "monitor.ingested"
+	// CtrPushes counts measurements delivered to subscribers.
+	CtrPushes = "monitor.pushes"
+	// CtrPushDrops counts measurements lost on slow subscribers
+	// (drop-oldest evictions plus failed final sends).
+	CtrPushDrops = "monitor.push_drops"
+	// CtrConnsActive gauges currently-open ingest/subscribe/admin
+	// network connections.
+	CtrConnsActive = "monitor.conns_active"
+	// CtrSubsActive gauges live store subscriptions.
+	CtrSubsActive = "monitor.subs_active"
+	// CtrRegistrations counts accepted change registrations.
+	CtrRegistrations = "daemon.registrations"
+	// CtrAdminErrors counts rejected admin requests.
+	CtrAdminErrors = "daemon.admin_errors"
+	// CtrChangesAssessed counts completed change assessments.
+	CtrChangesAssessed = "assess.changes"
+	// CtrKPIsAssessed counts per-KPI assessments across all changes.
+	CtrKPIsAssessed = "assess.kpis"
+	// CtrKPIsFlagged counts KPI changes attributed to software
+	// changes.
+	CtrKPIsFlagged = "assess.kpis_flagged"
+	// CtrRunsDeclared counts score runs that satisfied the
+	// persistence rule and became detections.
+	CtrRunsDeclared = "detect.runs_declared"
+	// CtrRunsDiscarded counts score runs the persistence rule
+	// discarded as one-off events.
+	CtrRunsDiscarded = "detect.runs_discarded"
+)
+
+// Collector aggregates counters, stage histograms and recent traces.
+// All methods are safe for concurrent use and are no-ops on a nil
+// receiver, so instrumented code needs no configuration checks.
+type Collector struct {
+	vars   *expvar.Map // unpublished registry; renders the metrics JSON
+	stages sync.Map    // stage name → *Histogram
+	traces *TraceStore
+	start  time.Time
+}
+
+// DefaultTraceCapacity bounds the trace ring of a fresh collector; at
+// the paper's 24,119 changes/day it holds the most recent ~15 minutes.
+const DefaultTraceCapacity = 256
+
+// NewCollector returns a ready collector with the process-health
+// gauges installed and a trace ring of DefaultTraceCapacity.
+func NewCollector() *Collector {
+	c := &Collector{
+		vars:   new(expvar.Map).Init(),
+		traces: NewTraceStore(DefaultTraceCapacity),
+		start:  time.Now(),
+	}
+	c.vars.Set("runtime.goroutines", expvar.Func(func() any { return runtime.NumGoroutine() }))
+	c.vars.Set("runtime.heap_bytes", expvar.Func(func() any { return readMetric("/memory/classes/heap/objects:bytes") }))
+	c.vars.Set("runtime.gc_cycles", expvar.Func(func() any { return readMetric("/gc/cycles/total:gc-cycles") }))
+	c.vars.Set("uptime_seconds", expvar.Func(func() any { return int64(time.Since(c.start).Seconds()) }))
+	return c
+}
+
+// readMetric samples one runtime/metrics value as a uint64 (0 when the
+// metric is unsupported on this toolchain).
+func readMetric(name string) uint64 {
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// Add increments a named counter (creating it on first use). Negative
+// deltas turn a counter into a gauge.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.vars.Add(name, delta)
+}
+
+// Counter reads a counter back (0 when it never fired).
+func (c *Collector) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	v, ok := c.vars.Get(name).(*expvar.Int)
+	if !ok {
+		return 0
+	}
+	return v.Value()
+}
+
+// Observe records one stage latency in that stage's histogram.
+func (c *Collector) Observe(stage string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.histogram(stage).Observe(d)
+}
+
+// ObserveSince is Observe(stage, time.Since(start)).
+func (c *Collector) ObserveSince(stage string, start time.Time) {
+	if c == nil {
+		return
+	}
+	c.histogram(stage).Observe(time.Since(start))
+}
+
+// Now returns the current time, or the zero time on a nil collector —
+// the paired ObserveSince is then a no-op, so uninstrumented runs skip
+// the clock reads entirely.
+func (c *Collector) Now() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// StageCount reports how many observations a stage histogram holds.
+func (c *Collector) StageCount(stage string) int64 {
+	if c == nil {
+		return 0
+	}
+	v, ok := c.stages.Load(stage)
+	if !ok {
+		return 0
+	}
+	return v.(*Histogram).Count()
+}
+
+// Stage returns the stage's histogram, creating it on first use.
+func (c *Collector) Stage(stage string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.histogram(stage)
+}
+
+// histogram resolves (or lazily installs) a stage histogram.
+func (c *Collector) histogram(stage string) *Histogram {
+	if v, ok := c.stages.Load(stage); ok {
+		return v.(*Histogram)
+	}
+	h := NewHistogram()
+	if actual, loaded := c.stages.LoadOrStore(stage, h); loaded {
+		return actual.(*Histogram)
+	}
+	c.vars.Set("stage."+stage, h)
+	return h
+}
+
+// PutTrace records a finished assessment trace in the bounded ring.
+func (c *Collector) PutTrace(t *Trace) {
+	if c == nil || t == nil {
+		return
+	}
+	c.traces.Put(t)
+}
+
+// Traces exposes the trace ring (nil on a nil collector).
+func (c *Collector) Traces() *TraceStore {
+	if c == nil {
+		return nil
+	}
+	return c.traces
+}
+
+// WriteMetrics writes the full metrics document — the /metrics payload
+// — as one JSON object with sorted keys (expvar's stable rendering).
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	if c == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	if _, err := io.WriteString(w, c.vars.String()); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

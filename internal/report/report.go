@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/funnel"
+	"repro/internal/obs"
 )
 
 // JSONReport is the stable wire form of one change assessment.
@@ -24,6 +25,9 @@ type JSONReport struct {
 	CServers    []string         `json:"control_servers,omitempty"`
 	Affected    []string         `json:"affected_services,omitempty"`
 	Assessments []JSONAssessment `json:"assessments"`
+	// Trace is the per-assessment pipeline trace (present when the
+	// assessor ran with a telemetry collector).
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // JSONAssessment is the wire form of one KPI verdict.
@@ -34,6 +38,7 @@ type JSONAssessment struct {
 	Verdict      string  `json:"verdict"`
 	Kind         string  `json:"kind,omitempty"`
 	Alpha        float64 `json:"alpha,omitempty"`
+	TStat        float64 `json:"t_stat,omitempty"`
 	Control      string  `json:"control,omitempty"`
 	DetectedBin  int     `json:"detected_bin,omitempty"`
 	AvailableBin int     `json:"available_bin,omitempty"`
@@ -53,6 +58,7 @@ func ToJSON(r *funnel.Report) JSONReport {
 		TServers:   r.Set.TServers,
 		CServers:   r.Set.CServers,
 		Affected:   r.Set.AffectedServices,
+		Trace:      r.Trace,
 	}
 	for _, a := range r.Assessments {
 		ja := JSONAssessment{
@@ -65,6 +71,7 @@ func ToJSON(r *funnel.Report) JSONReport {
 		if a.Verdict != funnel.NoChange {
 			ja.Kind = a.Detection.Kind.String()
 			ja.Alpha = a.Alpha
+			ja.TStat = obs.Finite(a.TStat)
 			ja.Control = a.ControlKind.String()
 			ja.DetectedBin = a.Detection.Start
 			ja.AvailableBin = a.Detection.AvailableAt
@@ -132,6 +139,41 @@ func WriteText(w io.Writer, r *funnel.Report, verbose bool) error {
 			}
 		case funnel.NoChange:
 			if _, err := fmt.Fprintf(w, "  quiet    %-44s\n", a.Key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTraceText renders a pipeline trace for the operator: total
+// wall-clock, then one line per KPI with its verdict, decision
+// evidence, and per-stage timings. Nil traces render a single notice
+// (assessors without a collector attach none).
+func WriteTraceText(w io.Writer, tr *obs.Trace) error {
+	if tr == nil {
+		_, err := fmt.Fprintln(w, "no trace recorded (telemetry disabled)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "trace %s on %s at %s: %d KPI(s) in %s\n",
+		tr.ChangeID, tr.Service, tr.At.Format("2006-01-02 15:04"),
+		len(tr.KPIs), time.Duration(tr.Nanos)); err != nil {
+		return err
+	}
+	for _, k := range tr.KPIs {
+		detail := ""
+		if k.Verdict != "no-change" {
+			detail = fmt.Sprintf(" score=%.2f kind=%s control=%s α=%+.2f t=%+.2f",
+				k.Score, k.Kind, k.Control, k.Alpha, k.TStat)
+		}
+		if k.Err != "" {
+			detail += " error=" + k.Err
+		}
+		if _, err := fmt.Fprintf(w, "  %-45s %-20s%s\n", k.Key, k.Verdict, detail); err != nil {
+			return err
+		}
+		for _, s := range k.Stages {
+			if _, err := fmt.Fprintf(w, "    %-15s %s\n", s.Stage, time.Duration(s.Nanos)); err != nil {
 				return err
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/funnel"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -93,6 +94,65 @@ func TestWriteTextModes(t *testing.T) {
 	}
 	if !strings.Contains(verbose.String(), "quiet") {
 		t.Fatal("verbose output misses quiet KPIs")
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	p := workload.DefaultParams()
+	p.Changes = 1
+	p.HistoryDays = 2
+	sc, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	a, err := funnel.NewAssessor(sc.Source, sc.Topo, funnel.Config{
+		ServerMetrics:   workload.ServerMetrics(),
+		InstanceMetrics: workload.InstanceMetrics(),
+		HistoryDays:     2,
+		Obs:             col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Assess(sc.Cases[0].Change)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("instrumented assessor attached no trace")
+	}
+
+	// The trace travels with the JSON form and round-trips.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*funnel.Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var docs []JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatal(err)
+	}
+	if docs[0].Trace == nil || docs[0].Trace.ChangeID != rep.Change.ID {
+		t.Fatalf("JSON trace = %+v", docs[0].Trace)
+	}
+
+	// Text rendering names the change and each stage that ran.
+	var txt bytes.Buffer
+	if err := WriteTraceText(&txt, rep.Trace); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	if !strings.Contains(out, rep.Change.ID) || !strings.Contains(out, "sst_score") {
+		t.Fatalf("trace text = %q", out)
+	}
+
+	// Nil traces degrade to a notice.
+	var none bytes.Buffer
+	if err := WriteTraceText(&none, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(none.String(), "no trace recorded") {
+		t.Fatalf("nil-trace text = %q", none.String())
 	}
 }
 
