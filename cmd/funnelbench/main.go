@@ -15,6 +15,13 @@
 //
 // Sizing flags (-changes, -history, -seed, -bootstraps) trade fidelity
 // for runtime; defaults reproduce EXPERIMENTS.md.
+//
+// A separate mode tracks the hot-path latency/allocation baseline
+// (committed as BENCH_<n>.json, see README's Performance section):
+//
+//	funnelbench -run-bench                  measure and write -bench-out
+//	funnelbench -run-bench -bench-check F   measure and fail on alloc
+//	                                        regression vs baseline F
 package main
 
 import (
@@ -41,9 +48,22 @@ func main() {
 		seed       = flag.Int64("seed", 1, "corpus seed")
 		bootstraps = flag.Int("bootstraps", 300, "CUSUM bootstrap shuffles (paper-faithful: 1000)")
 		csvOut     = flag.String("csv", "", "also write table1.csv / fig5_ccdf.csv into this directory")
+
+		runBench   = flag.Bool("run-bench", false, "run the latency/allocation benchmark suite")
+		benchIters = flag.Int("bench-iters", 300, "iterations per per-window benchmark entry")
+		benchOut   = flag.String("bench-out", "BENCH_1.json", "output path for the benchmark baseline JSON")
+		benchCheck = flag.String("bench-check", "", "baseline JSON to compare against; exit 1 on allocation regression")
 	)
 	flag.Parse()
 	csvDir = *csvOut
+
+	if *runBench || *benchCheck != "" {
+		if err := runBenchSuite(*benchIters, *benchOut, *benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "funnelbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := runConfig{
 		Changes:    *changes,

@@ -1,0 +1,281 @@
+// The -run-bench mode: a self-contained latency/allocation benchmark
+// suite whose results are committed as BENCH_<n>.json at the repo root.
+// Unlike `go test -bench`, it needs no test binary, pins its iteration
+// counts (so CI runs are comparable), and records the pre-optimization
+// baseline next to each fresh measurement. The -bench-check mode replays
+// the suite and fails when an allocation-guarded entry regresses against
+// the committed baseline — the CI tripwire for the zero-allocation hot
+// path.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/changelog"
+	"repro/internal/funnel"
+	"repro/internal/sst"
+	"repro/internal/workload"
+)
+
+// benchStats is one measurement triple.
+type benchStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// benchEntry is one benchmark's record in the JSON file. Before is the
+// measurement taken on the dense-Hankel, allocate-per-window
+// implementation immediately prior to the implicit-operator rewrite
+// (same harness, same host class); it is absent for entries that did
+// not exist before the rewrite.
+type benchEntry struct {
+	Name       string      `json:"name"`
+	Iters      int         `json:"iters"`
+	AllocGuard bool        `json:"alloc_guard"`
+	Before     *benchStats `json:"before,omitempty"`
+	After      benchStats  `json:"after"`
+}
+
+// benchFile is the committed BENCH_<n>.json document.
+type benchFile struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// measure times iters calls of f after a warm-up pass, reading the
+// allocator counters around the loop. The warm-up fills sync.Pool
+// workspaces and lazily-grown buffers so the loop sees steady state —
+// the same discipline the testing.AllocsPerRun guards use.
+func measure(iters int, f func()) benchStats {
+	warm := iters / 10
+	if warm < 2 {
+		warm = 2
+	}
+	for i := 0; i < warm; i++ {
+		f()
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchStats{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}
+}
+
+// benchWindowSeries mirrors the bench_test.go series: structure, noise
+// and a level shift.
+func benchWindowSeries(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + 10*math.Sin(2*math.Pi*float64(i)/240) + rng.NormFloat64()
+		if i >= n/2 {
+			x[i] += 8
+		}
+	}
+	return x
+}
+
+// baselineBefore holds the pre-rewrite measurements (go1.24, Intel Xeon
+// 2.10GHz container) keyed by entry name.
+var baselineBefore = map[string]benchStats{
+	"per_window/funnel-ika":      {NsPerOp: 22793, AllocsPerOp: 98, BytesPerOp: 9256},
+	"per_window/robust-sst":      {NsPerOp: 23891, AllocsPerOp: 60, BytesPerOp: 12728},
+	"per_window/classic-sst":     {NsPerOp: 25285, AllocsPerOp: 44, BytesPerOp: 10768},
+	"per_window/cusum":           {NsPerOp: 577817, AllocsPerOp: 4, BytesPerOp: 6576},
+	"per_window/mrls":            {NsPerOp: 578158, AllocsPerOp: 3090, BytesPerOp: 318159},
+	"backfill/score-series-auto": {NsPerOp: 38585604},
+	"fleet/assess-change":        {NsPerOp: 35341371, AllocsPerOp: 180413, BytesPerOp: 17694128},
+}
+
+// runBenchSuite executes the suite. When checkPath is non-empty the
+// results are compared against that baseline file and an error is
+// returned on an allocation regression; otherwise the results are
+// written to outPath.
+func runBenchSuite(iters int, outPath, checkPath string) error {
+	if iters < 10 {
+		iters = 10
+	}
+	fmt.Printf("benchmark suite: %d iterations per scorer entry (%s %s/%s)\n",
+		iters, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+
+	var entries []benchEntry
+	add := func(name string, n int, guard bool, f func()) {
+		st := measure(n, f)
+		e := benchEntry{Name: name, Iters: n, AllocGuard: guard, After: st}
+		if b, ok := baselineBefore[name]; ok {
+			bb := b
+			e.Before = &bb
+		}
+		entries = append(entries, e)
+		fmt.Printf("  %-30s %12.0f ns/op %10.1f allocs/op %12.0f B/op\n",
+			name, st.NsPerOp, st.AllocsPerOp, st.BytesPerOp)
+	}
+
+	// Per-window scoring: the Table-2 quantity, one entry per method.
+	x := benchWindowSeries(400)
+	scorers := []struct {
+		name   string
+		scorer sst.Scorer
+	}{
+		{"per_window/funnel-ika", sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true})},
+		{"per_window/robust-sst", sst.NewRobust(sst.Config{Normalize: true, RobustFilter: true})},
+		{"per_window/classic-sst", sst.NewClassic(sst.Config{Normalize: true})},
+		{"per_window/cusum", baselines.NewCUSUM()},
+		{"per_window/mrls", baselines.NewMRLS()},
+	}
+	for _, c := range scorers {
+		cfg := c.scorer.Config()
+		t0 := cfg.PastSpan()
+		span := len(x) - cfg.FutureSpan() - t0
+		i := 0
+		s := c.scorer
+		add(c.name, iters, true, func() {
+			s.ScoreAt(x, t0+i%span)
+			i++
+		})
+	}
+
+	// History backfill: the parallel batch-scoring path.
+	long := benchWindowSeries(2048)
+	ika := sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true})
+	backIters := iters / 50
+	if backIters < 3 {
+		backIters = 3
+	}
+	add("backfill/score-series-auto", backIters, false, func() {
+		sst.ScoreSeriesParallel(ika, long, 0)
+	})
+
+	// Fleet assessment: the full per-change pipeline and the AssessAll
+	// fan-out the deployment runs tens of thousands of times per day.
+	p := workload.DefaultParams()
+	p.Changes = 4
+	p.HistoryDays = 2
+	sc, err := workload.Generate(p)
+	if err != nil {
+		return fmt.Errorf("generate workload: %w", err)
+	}
+	assessor, err := funnel.NewAssessor(sc.Source, sc.Topo, funnel.Config{
+		ServerMetrics:   workload.ServerMetrics(),
+		InstanceMetrics: workload.InstanceMetrics(),
+		HistoryDays:     2,
+	})
+	if err != nil {
+		return fmt.Errorf("new assessor: %w", err)
+	}
+	changes := make([]changelog.Change, 0, len(sc.Cases))
+	for _, cs := range sc.Cases {
+		changes = append(changes, cs.Change)
+	}
+	fleetIters := iters / 20
+	if fleetIters < 3 {
+		fleetIters = 3
+	}
+	ci := 0
+	add("fleet/assess-change", fleetIters, false, func() {
+		if _, err := assessor.Assess(changes[ci%len(changes)]); err != nil {
+			panic(err)
+		}
+		ci++
+	})
+	allIters := iters / 50
+	if allIters < 2 {
+		allIters = 2
+	}
+	add("fleet/assess-all-4", allIters, false, func() {
+		for _, r := range assessor.AssessAll(changes, 4) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+		}
+	})
+
+	if checkPath != "" {
+		return checkAgainstBaseline(checkPath, entries)
+	}
+
+	doc := benchFile{
+		Schema:     "funnel-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: entries,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// checkAgainstBaseline fails on an allocation regression: a guarded
+// entry may not allocate more than ceil(1.2 × baseline) + 0.5 per op.
+// The half-alloc absolute headroom absorbs stray background-runtime
+// allocations landing inside the measurement loop; any real hot-path
+// regression costs at least one full alloc per op, so a zero baseline
+// still catches it. Latency is reported but never enforced — CI hosts
+// are too noisy for a ns/op gate.
+func checkAgainstBaseline(path string, measured []benchEntry) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	base := make(map[string]benchEntry, len(doc.Benchmarks))
+	for _, e := range doc.Benchmarks {
+		base[e.Name] = e
+	}
+	failed := 0
+	for _, m := range measured {
+		if !m.AllocGuard {
+			continue
+		}
+		b, ok := base[m.Name]
+		if !ok {
+			fmt.Printf("  %-30s SKIP (not in baseline)\n", m.Name)
+			continue
+		}
+		allowed := math.Ceil(b.After.AllocsPerOp*1.2) + 0.5
+		if m.After.AllocsPerOp > allowed {
+			failed++
+			fmt.Printf("  %-30s FAIL %.1f allocs/op > allowed %.0f (baseline %.1f)\n",
+				m.Name, m.After.AllocsPerOp, allowed, b.After.AllocsPerOp)
+			continue
+		}
+		fmt.Printf("  %-30s ok   %.1f allocs/op (baseline %.1f, ns/op %.0f vs %.0f)\n",
+			m.Name, m.After.AllocsPerOp, b.After.AllocsPerOp, m.After.NsPerOp, b.After.NsPerOp)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed on allocations vs %s", failed, path)
+	}
+	fmt.Println("allocation check passed")
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package detect
+
+// raceEnabled reports that this binary was built with -race. Under the
+// race detector sync.Pool deliberately drops a fraction of Puts, so the
+// scorer's pooled workspaces reallocate and steady-state allocation
+// guarantees cannot hold; the allocation tests skip themselves.
+const raceEnabled = true

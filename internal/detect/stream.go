@@ -41,7 +41,7 @@ func NewStream(det *Detector) *Stream {
 	return &Stream{
 		det:      det,
 		cfg:      cfg,
-		window:   make([]float64, 0, cfg.WindowSize()+1),
+		window:   make([]float64, 0, cfg.WindowSize()),
 		run:      -1,
 		lastHit:  -1,
 		declared: -1,
@@ -64,15 +64,23 @@ type Declaration struct {
 
 // Push appends the sample for the next bin and reports a declaration
 // if the persistence rule fired on this push.
+//
+// The window is a fixed-capacity buffer: once full, each push shifts
+// the contents down one slot in place (W is ~34 points, so the copy is
+// a few cache lines) instead of the append-then-reslice pattern, whose
+// progressively shrinking capacity forced a fresh allocation and a full
+// copy on every steady-state push. With an allocation-free scorer this
+// makes the whole Push path allocation-free.
 func (s *Stream) Push(v float64) (Declaration, bool) {
-	s.window = append(s.window, v)
-	s.n++
 	w := s.cfg.WindowSize()
-	if len(s.window) > w {
-		drop := len(s.window) - w
-		s.window = s.window[drop:]
-		s.absBase += drop
+	if len(s.window) == w {
+		copy(s.window, s.window[1:])
+		s.window[w-1] = v
+		s.absBase++
+	} else {
+		s.window = append(s.window, v)
 	}
+	s.n++
 	if len(s.window) < w {
 		return Declaration{}, false
 	}

@@ -85,6 +85,36 @@ func TestStreamShortWindowNoScore(t *testing.T) {
 	}
 }
 
+// Steady-state pushes must not allocate: the window is a fixed-capacity
+// buffer shifted in place, and the IKA scorer behind it is
+// allocation-free. The old append-then-reslice window reallocated (and
+// fully copied) on every push once the window was full.
+func TestStreamPushZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts; alloc guarantee does not hold")
+	}
+	rng := rand.New(rand.NewSource(105))
+	stream := NewStream(streamDetector())
+	w := stream.cfg.WindowSize()
+	// Warm past the full window on a quiet series so scoring engages
+	// and the pooled scorer workspace is built.
+	for i := 0; i < 4*w; i++ {
+		stream.Push(20 + 0.3*rng.NormFloat64())
+	}
+	samples := make([]float64, 256)
+	for i := range samples {
+		samples[i] = 20 + 0.3*rng.NormFloat64()
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		stream.Push(samples[i%len(samples)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push allocs/op = %v, want 0", allocs)
+	}
+}
+
 func TestStreamInRun(t *testing.T) {
 	rng := rand.New(rand.NewSource(103))
 	x := genLevelShift(400, 200, 10, 0.3, rng)

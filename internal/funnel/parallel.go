@@ -55,18 +55,31 @@ func (a *Assessor) AssessAll(changes []changelog.Change, workers int) []AssessRe
 }
 
 // FlaggedAcross collects every software-caused assessment across a
-// batch of results, sorted by change ID then KPI key for stable
-// reporting.
+// batch of results, sorted by change ID then KPI key so each change's
+// flagged KPIs stay grouped together in stable reporting order.
 func FlaggedAcross(results []AssessResult) []Assessment {
-	var out []Assessment
+	type tagged struct {
+		changeID string
+		a        Assessment
+	}
+	var flagged []tagged
 	for _, r := range results {
 		if r.Err != nil || r.Report == nil {
 			continue
 		}
-		out = append(out, r.Report.Flagged()...)
+		for _, a := range r.Report.Flagged() {
+			flagged = append(flagged, tagged{changeID: r.Change.ID, a: a})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].Key.String() < out[j].Key.String()
+	sort.Slice(flagged, func(i, j int) bool {
+		if flagged[i].changeID != flagged[j].changeID {
+			return flagged[i].changeID < flagged[j].changeID
+		}
+		return flagged[i].a.Key.String() < flagged[j].a.Key.String()
 	})
+	out := make([]Assessment, len(flagged))
+	for i, f := range flagged {
+		out[i] = f.a
+	}
 	return out
 }

@@ -3,11 +3,50 @@ package linalg
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // tqliMaxIter bounds the implicit-shift QL iterations per eigenvalue.
 const tqliMaxIter = 50
+
+// EigWorkspace holds the scratch buffers TridiagEigWS needs: the
+// working copies of the diagonal and subdiagonal, the rotation
+// accumulator, the sort permutation and the output eigenpairs. The zero
+// value is ready for use; buffers grow on demand and are retained, so a
+// long-lived workspace makes repeated solves allocation-free.
+//
+// A workspace is not safe for concurrent use, and the vals slice and
+// vecs matrix returned by TridiagEigWS remain valid only until the next
+// call with the same workspace.
+type EigWorkspace struct {
+	dd, ee, vals []float64
+	idx          []int
+	z, vecs      Matrix
+}
+
+// ensure sizes the buffers for order n.
+func (ws *EigWorkspace) ensure(n int) {
+	if cap(ws.dd) < n {
+		ws.dd = make([]float64, n)
+	}
+	if cap(ws.ee) < n {
+		ws.ee = make([]float64, n)
+	}
+	if cap(ws.vals) < n {
+		ws.vals = make([]float64, n)
+	}
+	if cap(ws.idx) < n {
+		ws.idx = make([]int, n)
+	}
+	if cap(ws.z.Data) < n*n {
+		ws.z.Data = make([]float64, n*n)
+	}
+	if cap(ws.vecs.Data) < n*n {
+		ws.vecs.Data = make([]float64, n*n)
+	}
+	ws.dd, ws.ee, ws.vals, ws.idx = ws.dd[:n], ws.ee[:n], ws.vals[:n], ws.idx[:n]
+	ws.z.Rows, ws.z.Cols, ws.z.Data = n, n, ws.z.Data[:n*n]
+	ws.vecs.Rows, ws.vecs.Cols, ws.vecs.Data = n, n, ws.vecs.Data[:n*n]
+}
 
 // TridiagEig computes all eigenvalues and eigenvectors of the symmetric
 // tridiagonal matrix with diagonal d (length n) and subdiagonal e
@@ -19,23 +58,40 @@ const tqliMaxIter = 50
 // basis in which the tridiagonal matrix is given (for Lanczos output,
 // the Krylov basis). d and e are not modified.
 func TridiagEig(d, e []float64) (vals []float64, vecs *Matrix, err error) {
+	ws := &EigWorkspace{}
+	return TridiagEigWS(ws, d, e)
+}
+
+// TridiagEigWS is TridiagEig with every buffer drawn from ws, performing
+// no allocation once the workspace has warmed up. The returned slice and
+// matrix alias ws-owned memory; they are invalidated by the next call
+// with the same workspace.
+func TridiagEigWS(ws *EigWorkspace, d, e []float64) (vals []float64, vecs *Matrix, err error) {
 	n := len(d)
 	if n == 0 {
-		return nil, NewMatrix(0, 0), nil
+		ws.ensure(0)
+		return nil, &ws.vecs, nil
 	}
 	if len(e) != n-1 && !(n == 1 && len(e) == 0) {
 		return nil, nil, fmt.Errorf("linalg: subdiagonal length %d for order %d", len(e), n)
 	}
-	dd := make([]float64, n)
+	ws.ensure(n)
+	dd := ws.dd
 	copy(dd, d)
 	// tqli uses e[1..n-1] with e[0] unused in NR indexing; here ee[i] is
 	// the element below dd[i], shifted so ee has length n with a zero
 	// sentinel at the end.
-	ee := make([]float64, n)
+	ee := ws.ee
 	copy(ee, e)
 	ee[n-1] = 0
 
-	z := Identity(n)
+	z := &ws.z
+	for i := range z.Data {
+		z.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		z.Data[i*n+i] = 1
+	}
 
 	for l := 0; l < n; l++ {
 		for iter := 0; ; iter++ {
@@ -95,14 +151,20 @@ func TridiagEig(d, e []float64) (vals []float64, vecs *Matrix, err error) {
 		}
 	}
 
-	// Sort eigenpairs in descending eigenvalue order.
-	idx := make([]int, n)
+	// Sort eigenpairs in descending eigenvalue order. A stable insertion
+	// sort keeps tied eigenvalues in QL output order and needs no
+	// allocation — the matrices here are k×k with k ≤ 2η.
+	idx := ws.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return dd[idx[a]] > dd[idx[b]] })
-	vals = make([]float64, n)
-	vecs = NewMatrix(n, n)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && dd[idx[j]] > dd[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals = ws.vals
+	vecs = &ws.vecs
 	for dst, src := range idx {
 		vals[dst] = dd[src]
 		for k := 0; k < n; k++ {

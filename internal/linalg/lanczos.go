@@ -21,6 +21,39 @@ type LanczosResult struct {
 	K     int       // achieved dimension (≤ requested; smaller on breakdown)
 }
 
+// LanczosWorkspace holds the scratch buffers LanczosWS needs: the
+// Krylov basis vectors, the working vector, the alpha/beta recurrence
+// coefficients and the optional basis matrix. The zero value is ready
+// for use; buffers grow on demand and are retained across calls, so a
+// long-lived workspace makes repeated iterations allocation-free.
+//
+// A workspace is not safe for concurrent use, and the slices/matrix
+// inside a LanczosResult produced with it remain valid only until the
+// next LanczosWS call with the same workspace.
+type LanczosWorkspace struct {
+	alpha, beta []float64
+	qbuf        []float64 // k row-contiguous basis vectors of length n
+	w           []float64
+	qmat        Matrix // n×k column-major view handed out as Result.Q
+}
+
+// ensure sizes the buffers for an n-dimensional operator and k steps.
+func (ws *LanczosWorkspace) ensure(n, k int) {
+	if cap(ws.alpha) < k {
+		ws.alpha = make([]float64, k)
+	}
+	if cap(ws.beta) < k {
+		ws.beta = make([]float64, k)
+	}
+	if cap(ws.qbuf) < k*n {
+		ws.qbuf = make([]float64, k*n)
+	}
+	if cap(ws.w) < n {
+		ws.w = make([]float64, n)
+	}
+	ws.w = ws.w[:n]
+}
+
 // Lanczos runs k steps of the Lanczos iteration for the implicit n×n
 // symmetric operator apply, starting from start (which is copied, not
 // modified). Full reorthogonalization is performed at every step — the
@@ -30,6 +63,15 @@ type LanczosResult struct {
 // If the Krylov space is exhausted early (beta underflow), the returned
 // result has K < k. wantBasis controls whether Q is accumulated.
 func Lanczos(apply MatVec, start []float64, k int, wantBasis bool) (LanczosResult, error) {
+	ws := &LanczosWorkspace{}
+	return LanczosWS(ws, apply, start, k, wantBasis)
+}
+
+// LanczosWS is Lanczos with every buffer drawn from ws, performing no
+// allocation once the workspace has warmed up. The returned result
+// aliases ws-owned memory; it is invalidated by the next call with the
+// same workspace.
+func LanczosWS(ws *LanczosWorkspace, op SymOp, start []float64, k int, wantBasis bool) (LanczosResult, error) {
 	n := len(start)
 	if n == 0 {
 		return LanczosResult{}, fmt.Errorf("linalg: empty start vector")
@@ -40,34 +82,36 @@ func Lanczos(apply MatVec, start []float64, k int, wantBasis bool) (LanczosResul
 	if k > n {
 		k = n
 	}
+	ws.ensure(n, k)
 
-	q := make([][]float64, 0, k)
-	q0 := make([]float64, n)
+	q0 := ws.qbuf[:n]
 	copy(q0, start)
 	if Normalize(q0) == 0 {
 		return LanczosResult{}, fmt.Errorf("linalg: zero start vector")
 	}
-	q = append(q, q0)
+	nq := 1 // basis vectors built so far
 
-	alpha := make([]float64, 0, k)
-	beta := make([]float64, 0, k-1)
-	w := make([]float64, n)
+	na, nb := 0, 0 // alphas and betas emitted
+	w := ws.w
 
 	for j := 0; j < k; j++ {
-		apply(w, q[j])
-		a := Dot(q[j], w)
-		alpha = append(alpha, a)
+		qj := ws.qbuf[j*n : (j+1)*n]
+		op.Apply(w, qj)
+		a := Dot(qj, w)
+		ws.alpha[na] = a
+		na++
 		if j == k-1 {
 			break
 		}
 		// w ← w − a·q_j − β_{j−1}·q_{j−1}
-		Axpy(-a, q[j], w)
+		Axpy(-a, qj, w)
 		if j > 0 {
-			Axpy(-beta[j-1], q[j-1], w)
+			Axpy(-ws.beta[j-1], ws.qbuf[(j-1)*n:j*n], w)
 		}
 		// Full reorthogonalization (twice is enough).
 		for pass := 0; pass < 2; pass++ {
-			for _, qi := range q {
+			for i := 0; i < nq; i++ {
+				qi := ws.qbuf[i*n : (i+1)*n]
 				Axpy(-Dot(qi, w), qi, w)
 			}
 		}
@@ -76,20 +120,26 @@ func Lanczos(apply MatVec, start []float64, k int, wantBasis bool) (LanczosResul
 			// Krylov space exhausted: T is effectively block-complete.
 			break
 		}
-		beta = append(beta, b)
-		qn := make([]float64, n)
+		ws.beta[nb] = b
+		nb++
+		qn := ws.qbuf[(j+1)*n : (j+2)*n]
 		for i, wi := range w {
 			qn[i] = wi / b
 		}
-		q = append(q, qn)
+		nq++
 	}
 
-	res := LanczosResult{Alpha: alpha, Beta: beta, K: len(alpha)}
+	res := LanczosResult{Alpha: ws.alpha[:na], Beta: ws.beta[:nb], K: na}
 	if wantBasis {
-		res.Q = NewMatrix(n, len(q))
-		for j, qj := range q {
-			res.Q.SetCol(j, qj)
+		if cap(ws.qmat.Data) < n*nq {
+			ws.qmat.Data = make([]float64, n*nq)
 		}
+		ws.qmat.Rows, ws.qmat.Cols = n, nq
+		ws.qmat.Data = ws.qmat.Data[:n*nq]
+		for j := 0; j < nq; j++ {
+			ws.qmat.SetCol(j, ws.qbuf[j*n:(j+1)*n])
+		}
+		res.Q = &ws.qmat
 	}
 	return res, nil
 }

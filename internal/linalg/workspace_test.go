@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// spdOp builds a deterministic implicit SPD operator (the Gram of a
+// random tall matrix) of dimension n.
+func spdOp(n int, seed int64) MatVec {
+	m := &Matrix{Rows: n, Cols: n + 3, Data: randSeries(n*(n+3), seed)}
+	return GramOp(m)
+}
+
+// LanczosWS must reproduce the allocating Lanczos exactly, including the
+// Krylov basis, for full runs and early breakdowns.
+func TestLanczosWSMatchesLanczos(t *testing.T) {
+	cases := []struct {
+		name  string
+		n, k  int
+		start func(n int) []float64
+		op    func(n int) MatVec
+	}{
+		{"full", 9, 5, func(n int) []float64 { return randSeries(n, 11) }, func(n int) MatVec { return spdOp(n, 12) }},
+		{"k-exceeds-n", 4, 9, func(n int) []float64 { return randSeries(n, 13) }, func(n int) MatVec { return spdOp(n, 14) }},
+		{"breakdown", 9, 5, func(n int) []float64 { return randSeries(n, 15) }, func(n int) MatVec {
+			// Rank-1 operator: the Krylov space is exhausted after one step.
+			u := randSeries(n, 16)
+			return func(dst, v []float64) {
+				d := Dot(u, v)
+				for i := range dst {
+					dst[i] = d * u[i]
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			start := c.start(c.n)
+			op := c.op(c.n)
+			want, err := Lanczos(op, start, c.k, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ws LanczosWorkspace
+			got, err := LanczosWS(&ws, op, start, c.k, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.K != want.K {
+				t.Fatalf("K = %d, want %d", got.K, want.K)
+			}
+			for i := range want.Alpha {
+				if got.Alpha[i] != want.Alpha[i] {
+					t.Fatalf("alpha[%d] = %v, want %v", i, got.Alpha[i], want.Alpha[i])
+				}
+			}
+			for i := range want.Beta {
+				if got.Beta[i] != want.Beta[i] {
+					t.Fatalf("beta[%d] = %v, want %v", i, got.Beta[i], want.Beta[i])
+				}
+			}
+			if !got.Q.Equalish(want.Q, 0) {
+				t.Fatal("Krylov bases differ")
+			}
+		})
+	}
+}
+
+// A reused workspace must give the same answer as a fresh one — the
+// previous window's state must not leak — and larger geometries after
+// smaller ones must regrow correctly.
+func TestLanczosWSReuseAcrossGeometries(t *testing.T) {
+	var ws LanczosWorkspace
+	for _, n := range []int{5, 9, 4, 15} {
+		start := randSeries(n, int64(20+n))
+		op := spdOp(n, int64(30+n))
+		want, err := Lanczos(op, start, 5, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LanczosWS(&ws, op, start, 5, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.K != want.K || !got.Q.Equalish(want.Q, 0) {
+			t.Fatalf("n=%d: reused workspace diverged", n)
+		}
+	}
+}
+
+func TestLanczosWSErrors(t *testing.T) {
+	var ws LanczosWorkspace
+	op := spdOp(5, 40)
+	if _, err := LanczosWS(&ws, op, nil, 5, false); err == nil {
+		t.Fatal("empty start should error")
+	}
+	if _, err := LanczosWS(&ws, op, make([]float64, 5), 5, false); err == nil {
+		t.Fatal("zero start should error")
+	}
+	if _, err := LanczosWS(&ws, op, randSeries(5, 41), 0, false); err == nil {
+		t.Fatal("k = 0 should error")
+	}
+}
+
+// Steady-state LanczosWS must not allocate, with or without the basis.
+func TestLanczosWSZeroAlloc(t *testing.T) {
+	n := 9
+	start := randSeries(n, 50)
+	var h HankelGram
+	x := randSeries(64, 51)
+	h.Reset(x, 34, n, n)
+	var ws LanczosWorkspace
+	for _, wantBasis := range []bool{false, true} {
+		if _, err := LanczosWS(&ws, &h, start, 5, wantBasis); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := LanczosWS(&ws, &h, start, 5, wantBasis); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("wantBasis=%v: allocs/op = %v, want 0", wantBasis, allocs)
+		}
+	}
+}
+
+// TridiagEigWS must reproduce TridiagEig exactly and satisfy the
+// eigendecomposition property T·v = λ·v.
+func TestTridiagEigWSMatchesTridiagEig(t *testing.T) {
+	d := []float64{4, 3, 7, 1, 5}
+	e := []float64{1, 0.5, 2, 0.25}
+	wantVals, wantVecs, err := TridiagEig(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws EigWorkspace
+	vals, vecs, err := TridiagEigWS(&ws, d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantVals {
+		if vals[i] != wantVals[i] {
+			t.Fatalf("val[%d] = %v, want %v", i, vals[i], wantVals[i])
+		}
+	}
+	if !vecs.Equalish(wantVecs, 0) {
+		t.Fatal("eigenvectors differ")
+	}
+	// Residual check: ‖T·v − λ·v‖ small for every pair.
+	n := len(d)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			tv := d[i] * vecs.At(i, j)
+			if i > 0 {
+				tv += e[i-1] * vecs.At(i-1, j)
+			}
+			if i < n-1 {
+				tv += e[i] * vecs.At(i+1, j)
+			}
+			if math.Abs(tv-vals[j]*vecs.At(i, j)) > 1e-10 {
+				t.Fatalf("residual too large at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Tied eigenvalues must keep a deterministic (stable) order so repeated
+// scoring of the same window selects the same eigenpairs.
+func TestTridiagEigWSDeterministicOnTies(t *testing.T) {
+	d := []float64{2, 2, 2}
+	e := []float64{0, 0}
+	var ws EigWorkspace
+	vals1, vecs1, err := TridiagEigWS(&ws, d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapVals := append([]float64(nil), vals1...)
+	snapVecs := vecs1.Clone()
+	vals2, vecs2, err := TridiagEigWS(&ws, d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapVals {
+		if vals2[i] != snapVals[i] {
+			t.Fatal("tied eigenvalues reordered across calls")
+		}
+	}
+	if !vecs2.Equalish(snapVecs, 0) {
+		t.Fatal("tied eigenvectors reordered across calls")
+	}
+}
+
+// Steady-state TridiagEigWS must not allocate.
+func TestTridiagEigWSZeroAlloc(t *testing.T) {
+	d := randSeries(5, 60)
+	e := randSeries(4, 61)
+	var ws EigWorkspace
+	if _, _, err := TridiagEigWS(&ws, d, e); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := TridiagEigWS(&ws, d, e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestTridiagEigWSEmptyAndMismatch(t *testing.T) {
+	var ws EigWorkspace
+	vals, vecs, err := TridiagEigWS(&ws, nil, nil)
+	if err != nil || len(vals) != 0 || vecs == nil {
+		t.Fatalf("empty input: vals=%v vecs=%v err=%v", vals, vecs, err)
+	}
+	if _, _, err := TridiagEigWS(&ws, []float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Fatal("mismatched subdiagonal should error")
+	}
+}

@@ -2,6 +2,7 @@ package sst
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -14,7 +15,8 @@ import (
 // by how far that direction falls outside the past subspace
 // (Eqs. 6–7: 1 − ‖Uηᵀβ‖).
 type Classic struct {
-	cfg Config
+	cfg  Config
+	pool sync.Pool
 }
 
 // NewClassic constructs the classic SST scorer. It panics on an invalid
@@ -24,16 +26,22 @@ func NewClassic(cfg Config) *Classic {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Classic{cfg: cfg}
+	c := &Classic{cfg: cfg}
+	c.pool.New = func() any { return &workspace{} }
+	return c
 }
 
 // Config returns the resolved configuration.
 func (c *Classic) Config() Config { return c.cfg }
 
 // ScoreAt returns the classic SST change score of x at index t,
-// in [0, 1].
+// in [0, 1]. The window normalization and the Eq. 11 filter reuse a
+// pooled workspace; the SVDs still allocate (this scorer exists as the
+// §3.2.1 reference, not as a deployment path).
 func (c *Classic) ScoreAt(x []float64, t int) float64 {
-	w, tl := analysisWindow(x, t, c.cfg)
+	ws := c.pool.Get().(*workspace)
+	defer c.pool.Put(ws)
+	w, tl := analysisWindowInto(ws, x, t, c.cfg)
 
 	b := pastMatrix(w, tl, c.cfg)
 	ueta := linalg.TopLeftSingularVectors(b, c.cfg.Eta)
@@ -54,7 +62,7 @@ func (c *Classic) ScoreAt(x []float64, t int) float64 {
 	}
 	score := 1 - sqrtClamped(proj)
 	if c.cfg.RobustFilter {
-		score *= robustMultiplier(w, tl, c.cfg.Omega)
+		score *= robustMultiplierWS(ws, w, tl, c.cfg.Omega)
 	}
 	if !c.cfg.RobustFilter {
 		score = clamp01(score)

@@ -2,6 +2,7 @@ package sst
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -24,8 +25,17 @@ import (
 // The per-point cost is O(k·ω·γ) instead of the O(ω·δ²)-per-sweep
 // iterative SVD, which is where the 401.8 µs vs 2.852 s gap in Table 2
 // comes from.
+//
+// The hot path is allocation-free in steady state: the trajectory
+// matrices exist only as implicit linalg.HankelGram operators over the
+// window slice, and every Krylov basis, tridiagonal scratch and Ritz
+// vector lives in a pooled workspace. Concurrent callers
+// (ScoreSeriesParallel, funnel.AssessAll workers) each draw their own
+// workspace from the pool, so a single IKA value is safe for concurrent
+// use and its scores are bit-identical to sequential evaluation.
 type IKA struct {
-	cfg Config
+	cfg  Config
+	pool sync.Pool
 }
 
 // NewIKA constructs the IKA-accelerated robust SST scorer. It panics on
@@ -35,7 +45,9 @@ func NewIKA(cfg Config) *IKA {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &IKA{cfg: cfg}
+	s := &IKA{cfg: cfg}
+	s.pool.New = func() any { return &workspace{} }
+	return s
 }
 
 // Config returns the resolved configuration.
@@ -45,55 +57,76 @@ func (s *IKA) Config() Config { return s.cfg }
 // Robust.ScoreAt to within Krylov accuracy (tight for k = 2η−1 ≥ η+2 on
 // the effectively low-rank Hankel Gram matrices FUNNEL sees).
 func (s *IKA) ScoreAt(x []float64, t int) float64 {
-	w, tl := analysisWindow(x, t, s.cfg)
+	ws := s.pool.Get().(*workspace)
+	v := s.scoreAt(ws, x, t)
+	s.pool.Put(ws)
+	return v
+}
 
-	b := pastMatrix(w, tl, s.cfg)
-	a := futureMatrix(w, tl, s.cfg)
+// scoreAt evaluates one window with every buffer drawn from ws.
+func (s *IKA) scoreAt(ws *workspace, x []float64, t int) float64 {
+	w, tl := analysisWindowInto(ws, x, t, s.cfg)
 
-	lambdas, betas := s.futureDirections(a)
-	if len(betas) == 0 {
+	// B(t) and A(t) as implicit Gram operators over the window slice —
+	// no ω×δ matrix is ever materialized on this path.
+	ws.past.Reset(w, tl, s.cfg.Omega, s.cfg.Delta)
+	futureEnd := tl + s.cfg.Rho + s.cfg.Gamma + s.cfg.Omega - 1
+	ws.future.Reset(w, futureEnd, s.cfg.Omega, s.cfg.Gamma)
+
+	eta := s.futureDirections(ws)
+	if eta == 0 {
 		return 0
 	}
 
-	// Implicit past operator C = B·Bᵀ shared across the η solves.
-	pastOp := linalg.GramOp(b)
-
 	var num, den float64
-	for i, beta := range betas {
-		phi := s.discordance(pastOp, beta)
-		num += lambdas[i] * phi
-		den += lambdas[i]
+	for i := 0; i < eta; i++ {
+		beta := ws.betas[i*s.cfg.Omega : (i+1)*s.cfg.Omega]
+		phi := s.discordance(ws, beta)
+		num += ws.lambdas[i] * phi
+		den += ws.lambdas[i]
 	}
 	var score float64
 	if den > 0 {
 		score = clamp01(num / den)
 	}
 	if s.cfg.RobustFilter {
-		score *= robustMultiplier(w, tl, s.cfg.Omega)
+		score *= robustMultiplierWS(ws, w, tl, s.cfg.Omega)
 	}
 	return score
 }
 
-// futureDirections extracts η Ritz pairs of A·Aᵀ via Lanczos + QL.
-// The Ritz vectors are reconstructed in the original ω-dimensional
-// space from the Krylov basis.
-func (s *IKA) futureDirections(a *linalg.Matrix) (lambdas []float64, betas [][]float64) {
-	op := linalg.GramOp(a)
-	start := krylovStart(a)
-	res, err := linalg.Lanczos(op, start, s.cfg.K, true)
-	if err != nil {
-		return nil, nil
+// futureDirections extracts η Ritz pairs of A·Aᵀ via Lanczos + QL,
+// storing the eigenvalues in ws.lambdas and the normalized Ritz vectors
+// (reconstructed in the original ω-dimensional space from the Krylov
+// basis) row-contiguously in ws.betas. It returns the number of pairs,
+// 0 on a degenerate window.
+func (s *IKA) futureDirections(ws *workspace) int {
+	n := s.cfg.Omega
+	ws.start = grow(ws.start, n)
+	ws.future.RowSums(ws.start)
+	if linalg.Norm2(ws.start) < 1e-12 {
+		// Deterministic fallback for a vanishing A·1 (e.g. a perfectly
+		// antisymmetric window): a fixed ramp.
+		for i := range ws.start {
+			ws.start[i] = 1 + float64(i)
+		}
 	}
-	vals, vecs, err := linalg.TridiagEig(res.Alpha, res.Beta)
+	res, err := linalg.LanczosWS(&ws.lan, &ws.future, ws.start, s.cfg.K, true)
 	if err != nil {
-		return nil, nil
+		return 0
+	}
+	vals, vecs, err := linalg.TridiagEigWS(&ws.eig, res.Alpha, res.Beta)
+	if err != nil {
+		return 0
 	}
 	eta := s.cfg.Eta
 	if eta > res.K {
 		eta = res.K
 	}
-	lambdas = make([]float64, 0, eta)
-	betas = make([][]float64, 0, eta)
+	// Copy the selected pairs out: the Lanczos and eig workspaces are
+	// reused by every discordance solve below.
+	ws.lambdas = grow(ws.lambdas, eta)
+	ws.betas = grow(ws.betas, eta*n)
 	for i := 0; i < eta; i++ {
 		idx := i
 		if s.cfg.FutureSmallest {
@@ -103,24 +136,35 @@ func (s *IKA) futureDirections(a *linalg.Matrix) (lambdas []float64, betas [][]f
 		if l < 0 {
 			l = 0
 		}
-		// Ritz vector: Q · y_idx.
-		y := vecs.Col(idx)
-		beta := res.Q.MulVec(y)
+		ws.lambdas[i] = l
+		// Ritz vector: Q · y_idx, without extracting the column.
+		beta := ws.betas[i*n : (i+1)*n]
+		mulVecColTo(beta, res.Q, vecs, idx)
 		linalg.Normalize(beta)
-		lambdas = append(lambdas, l)
-		betas = append(betas, beta)
 	}
-	return lambdas, betas
+	return eta
+}
+
+// mulVecColTo writes q · (column col of y) into dst.
+func mulVecColTo(dst []float64, q, y *linalg.Matrix, col int) {
+	for i := 0; i < q.Rows; i++ {
+		row := q.Data[i*q.Cols : (i+1)*q.Cols]
+		var s float64
+		for j, r := range row {
+			s += r * y.Data[j*y.Cols+col]
+		}
+		dst[i] = s
+	}
 }
 
 // discordance approximates φ = 1 − Σⱼ (βᵀuⱼ)² for the top-η
-// eigendirections uⱼ of the implicit operator via Eq. 13.
-func (s *IKA) discordance(pastOp linalg.MatVec, beta []float64) float64 {
-	res, err := linalg.Lanczos(pastOp, beta, s.cfg.K, false)
+// eigendirections uⱼ of the implicit past operator via Eq. 13.
+func (s *IKA) discordance(ws *workspace, beta []float64) float64 {
+	res, err := linalg.LanczosWS(&ws.lan, &ws.past, beta, s.cfg.K, false)
 	if err != nil {
 		return 0
 	}
-	vals, vecs, err := linalg.TridiagEig(res.Alpha, res.Beta)
+	vals, vecs, err := linalg.TridiagEigWS(&ws.eig, res.Alpha, res.Beta)
 	if err != nil {
 		return 0
 	}
@@ -142,23 +186,4 @@ func (s *IKA) discordance(pastOp linalg.MatVec, beta []float64) float64 {
 		proj += x1 * x1
 	}
 	return clamp01(1 - proj)
-}
-
-// krylovStart produces a deterministic, generically non-degenerate
-// start vector for the future Lanczos: the row sums of A (i.e. A·1),
-// falling back to a fixed ramp when those vanish (e.g. on a perfectly
-// antisymmetric window).
-func krylovStart(a *linalg.Matrix) []float64 {
-	start := make([]float64, a.Rows)
-	ones := make([]float64, a.Cols)
-	for i := range ones {
-		ones[i] = 1
-	}
-	a.MulVecTo(start, ones)
-	if linalg.Norm2(start) < 1e-12 {
-		for i := range start {
-			start[i] = 1 + float64(i)
-		}
-	}
-	return start
 }

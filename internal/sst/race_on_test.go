@@ -1,0 +1,10 @@
+//go:build race
+
+package sst
+
+// raceEnabled reports that this binary was built with -race. Under the
+// race detector sync.Pool deliberately drops a fraction of Puts, so
+// pooled-workspace allocation guarantees cannot hold; the allocation
+// tests skip themselves (the equivalence and concurrency tests still
+// run, which is what -race is for).
+const raceEnabled = true

@@ -2,6 +2,7 @@ package sst
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -18,7 +19,8 @@ import (
 // x̂(t) = Σ λᵢ·φᵢ / Σ λᵢ with φᵢ = 1 − Σⱼ (βᵢᵀuⱼ)² (Eqs. 8–10), then
 // applies the median/MAD section filter (Eq. 11).
 type Robust struct {
-	cfg Config
+	cfg  Config
+	pool sync.Pool
 }
 
 // NewRobust constructs the robust SST scorer with exact decompositions.
@@ -28,7 +30,9 @@ func NewRobust(cfg Config) *Robust {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Robust{cfg: cfg}
+	r := &Robust{cfg: cfg}
+	r.pool.New = func() any { return &workspace{} }
+	return r
 }
 
 // Config returns the resolved configuration.
@@ -38,7 +42,9 @@ func (r *Robust) Config() Config { return r.cfg }
 // Without the robustness filter the score lies in [0, 1]; with it, the
 // score is additionally scaled by the local level/spread change.
 func (r *Robust) ScoreAt(x []float64, t int) float64 {
-	w, tl := analysisWindow(x, t, r.cfg)
+	ws := r.pool.Get().(*workspace)
+	defer r.pool.Put(ws)
+	w, tl := analysisWindowInto(ws, x, t, r.cfg)
 
 	b := pastMatrix(w, tl, r.cfg)
 	ueta := linalg.TopLeftSingularVectors(b, r.cfg.Eta)
@@ -55,7 +61,7 @@ func (r *Robust) ScoreAt(x []float64, t int) float64 {
 	lambdas, betas := selectFutureDirections(vals, vecs, r.cfg)
 	score := weightedDiscordance(ueta, lambdas, betas)
 	if r.cfg.RobustFilter {
-		score *= robustMultiplier(w, tl, r.cfg.Omega)
+		score *= robustMultiplierWS(ws, w, tl, r.cfg.Omega)
 	}
 	return score
 }

@@ -218,7 +218,7 @@ func analysisWindow(x []float64, t int, cfg Config) ([]float64, int) {
 	lo := t - cfg.PastSpan()
 	hi := t + cfg.FutureSpan()
 	if lo < 0 || hi > len(x) {
-		panic(fmt.Sprintf("sst: window [%d,%d) out of series length %d", lo, hi, len(x)))
+		panic(windowRangeError(x, lo, hi))
 	}
 	w := x[lo:hi]
 	if !cfg.Normalize {
@@ -226,6 +226,23 @@ func analysisWindow(x []float64, t int, cfg Config) ([]float64, int) {
 	}
 	past := x[lo:t]
 	med, mad := stats.MedianMAD(past)
+	scale := normScale(past, med, mad)
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = (v - med) / scale
+	}
+	return out, t - lo
+}
+
+// windowRangeError formats the analysis-window panic message.
+func windowRangeError(x []float64, lo, hi int) string {
+	return fmt.Sprintf("sst: window [%d,%d) out of series length %d", lo, hi, len(x))
+}
+
+// normScale resolves the normalization scale from the past span's median
+// and MAD, falling back to the standard deviation and finally to a floor
+// proportional to the baseline level.
+func normScale(past []float64, med, mad float64) float64 {
 	scale := mad * stats.MADScale
 	if scale == 0 {
 		scale = stats.Stddev(past)
@@ -233,11 +250,7 @@ func analysisWindow(x []float64, t int, cfg Config) ([]float64, int) {
 	if floor := 1e-3 * math.Max(math.Abs(med), 1); scale < floor {
 		scale = floor
 	}
-	out := make([]float64, len(w))
-	for i, v := range w {
-		out[i] = (v - med) / scale
-	}
-	return out, t - lo
+	return scale
 }
 
 // pastMatrix builds B(t) for the local window; tl is t's index inside w.
@@ -279,6 +292,18 @@ func clamp01(v float64) float64 {
 // from the ≲1-unit median wobble of pure noise. See DESIGN.md
 // ("Paper-formula interpretation notes").
 func robustMultiplier(w []float64, tl, omega int) float64 {
+	before, after, ok := robustSections(w, tl, omega)
+	if !ok {
+		return 1
+	}
+	medA, madA := stats.MedianMAD(before)
+	medB, madB := stats.MedianMAD(after)
+	return sectionContrast(medA, madA, medB, madB)
+}
+
+// robustSections slices the (2ω−1)-point stretches before and from tl;
+// ok is false when either section is empty (window edge).
+func robustSections(w []float64, tl, omega int) (before, after []float64, ok bool) {
 	span := 2*omega - 1
 	lo := tl - span
 	hi := tl + span
@@ -288,12 +313,12 @@ func robustMultiplier(w []float64, tl, omega int) float64 {
 	if hi > len(w) {
 		hi = len(w)
 	}
-	before := w[lo:tl]
-	after := w[tl:hi]
-	if len(before) == 0 || len(after) == 0 {
-		return 1
-	}
-	medA, madA := stats.MedianMAD(before)
-	medB, madB := stats.MedianMAD(after)
+	before = w[lo:tl]
+	after = w[tl:hi]
+	return before, after, len(before) > 0 && len(after) > 0
+}
+
+// sectionContrast combines the level and spread deltas of Eq. 11.
+func sectionContrast(medA, madA, medB, madB float64) float64 {
 	return math.Abs(medA-medB) + math.Sqrt(math.Abs(madA-madB))
 }

@@ -475,24 +475,30 @@ func TestWindowGeometryProperty(t *testing.T) {
 	}
 }
 
+// Parallel backfill must agree with sequential scoring exactly for
+// every scorer: each worker draws its own pooled workspace, so no state
+// is shared between the goroutines. CI runs this under -race, which
+// turns any workspace sharing into a hard failure.
 func TestScoreSeriesParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(58))
 	x := genLevelShift(400, 200, 6, rng)
-	s := NewIKA(Config{Normalize: true, RobustFilter: true})
-	seq := ScoreSeries(s, x)
-	for _, workers := range []int{0, 1, 3, 16} {
-		par := ScoreSeriesParallel(s, x, workers)
-		if len(par) != len(seq) {
-			t.Fatalf("length mismatch at workers=%d", workers)
-		}
-		for i := range seq {
-			same := seq[i] == par[i] || (math.IsNaN(seq[i]) && math.IsNaN(par[i]))
-			if !same {
-				t.Fatalf("workers=%d: score[%d] %v != %v", workers, i, par[i], seq[i])
+	for name, s := range scorers(Config{Normalize: true, RobustFilter: true}) {
+		seq := ScoreSeries(s, x)
+		for _, workers := range []int{0, 1, 3, 16} {
+			par := ScoreSeriesParallel(s, x, workers)
+			if len(par) != len(seq) {
+				t.Fatalf("%s: length mismatch at workers=%d", name, workers)
+			}
+			for i := range seq {
+				same := seq[i] == par[i] || (math.IsNaN(seq[i]) && math.IsNaN(par[i]))
+				if !same {
+					t.Fatalf("%s: workers=%d: score[%d] %v != %v", name, workers, i, par[i], seq[i])
+				}
 			}
 		}
 	}
 	// Degenerate: series shorter than the window.
+	s := NewIKA(Config{Normalize: true, RobustFilter: true})
 	short := ScoreSeriesParallel(s, make([]float64, 10), 4)
 	for _, v := range short {
 		if !math.IsNaN(v) {

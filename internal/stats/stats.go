@@ -105,14 +105,34 @@ func MedianInto(xs, buf []float64) float64 {
 	return medianInPlace(buf)
 }
 
-// medianInPlace sorts tmp and returns its median.
+// medianInPlace sorts tmp and returns its median. Small inputs — the
+// sliding analysis windows the SST hot path feeds through here — use an
+// insertion sort, which is both faster at these sizes and guaranteed
+// allocation-free on every Go version.
 func medianInPlace(tmp []float64) float64 {
-	sort.Float64s(tmp)
+	if len(tmp) <= 64 {
+		insertionSort(tmp)
+	} else {
+		sort.Float64s(tmp)
+	}
 	n := len(tmp)
 	if n%2 == 1 {
 		return tmp[n/2]
 	}
 	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// insertionSort orders xs ascending in place without allocating.
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i
+		for j > 0 && xs[j-1] > v {
+			xs[j] = xs[j-1]
+			j--
+		}
+		xs[j] = v
+	}
 }
 
 // MAD returns the median absolute deviation of xs around its median:
@@ -144,6 +164,27 @@ func MedianMAD(xs []float64) (median, mad float64) {
 		tmp[i] = math.Abs(x - median)
 	}
 	mad = medianInPlace(tmp)
+	return median, mad
+}
+
+// MedianMADInto is MedianMAD computed with buf as scratch space,
+// avoiding any allocation when buf has capacity for len(xs) elements.
+// buf may be nil; xs is not modified. This is the form FUNNEL's
+// zero-allocation score path uses at every sliding window.
+func MedianMADInto(xs, buf []float64) (median, mad float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if cap(buf) < len(xs) {
+		buf = make([]float64, len(xs))
+	}
+	buf = buf[:len(xs)]
+	copy(buf, xs)
+	median = medianInPlace(buf)
+	for i, x := range xs {
+		buf[i] = math.Abs(x - median)
+	}
+	mad = medianInPlace(buf)
 	return median, mad
 }
 

@@ -368,3 +368,67 @@ func TestCorrelation(t *testing.T) {
 		t.Fatalf("independent correlation = %v", c)
 	}
 }
+
+func TestMedianMADIntoMatchesMedianMAD(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	buf := make([]float64, 64)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		snapshot := append([]float64(nil), xs...)
+		wantMed, wantMAD := MedianMAD(xs)
+		med, mad := MedianMADInto(xs, buf)
+		if med != wantMed || mad != wantMAD {
+			t.Fatalf("trial %d: (%v,%v) != (%v,%v)", trial, med, mad, wantMed, wantMAD)
+		}
+		for i := range xs {
+			if xs[i] != snapshot[i] {
+				t.Fatalf("trial %d: input mutated at %d", trial, i)
+			}
+		}
+	}
+	// Nil and undersized buffers still work (by allocating).
+	if med, mad := MedianMADInto([]float64{3, 1, 2}, nil); med != 2 || mad != 1 {
+		t.Fatalf("nil buf: med=%v mad=%v", med, mad)
+	}
+	// Empty input mirrors MedianMAD.
+	if med, _ := MedianMADInto(nil, buf); !math.IsNaN(med) {
+		t.Fatalf("empty input: med=%v", med)
+	}
+}
+
+func TestMedianMADIntoZeroAlloc(t *testing.T) {
+	xs := make([]float64, 34)
+	for i := range xs {
+		xs[i] = float64((i * 7) % 13)
+	}
+	buf := make([]float64, len(xs))
+	allocs := testing.AllocsPerRun(100, func() {
+		MedianMADInto(xs, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestInsertionSortMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		insertionSort(xs)
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("trial %d: order differs at %d", trial, i)
+			}
+		}
+	}
+}
