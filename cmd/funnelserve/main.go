@@ -46,6 +46,7 @@ func main() {
 		epoch     = flag.String("epoch", "", "store epoch (RFC3339; default now − history − 1 day)")
 		asJSON    = flag.Bool("json", false, "emit reports as JSON instead of text")
 		debug     = flag.String("debug", "127.0.0.1:7104", "telemetry HTTP listen address: /metrics, /debug/pprof/*, /traces/<id> (empty = off)")
+		upstream  = flag.String("upstream", "", "subscribe-port address of another funnelserve to mirror measurements from (reconnects with backoff; empty = off)")
 		verbose   = flag.Bool("v", false, "log lifecycle events (registrations, reports) to stderr")
 	)
 	flag.Parse()
@@ -88,6 +89,33 @@ func main() {
 
 	fmt.Printf("funnelserve: ingest=%v subscribe=%v admin=%v debug=%v epoch=%s history=%dd\n",
 		d.IngestAddr(), d.SubscribeAddr(), d.AdminAddr(), d.DebugAddr(), start.Format(time.RFC3339), *history)
+
+	// Mirror another funnelserve's measurement stream into the local
+	// store over a reconnecting subscription: flaps redial with backoff
+	// and resume from the last seen bin, so a follower daemon survives
+	// leader restarts without losing stored bins.
+	if *upstream != "" {
+		cli, err := monitor.DialConfig(*upstream, monitor.ClientConfig{Reconnect: true, Obs: col})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "funnelserve: upstream dial:", err)
+			os.Exit(1)
+		}
+		defer cli.Close()
+		go func() {
+			for m := range cli.C() {
+				store.Append(m)
+			}
+			// A closed stream with a nil Err is a deliberate shutdown;
+			// anything else means the reconnect budget ran out.
+			if err := cli.Err(); err != nil && logger != nil {
+				logger.Error("upstream feed lost", "addr", *upstream,
+					"reconnects", cli.Reconnects(), "err", err)
+			}
+		}()
+		if logger != nil {
+			logger.Info("mirroring upstream", "addr", *upstream)
+		}
+	}
 
 	// Reports stream until interrupted.
 	sig := make(chan os.Signal, 1)

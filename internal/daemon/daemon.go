@@ -294,16 +294,32 @@ func (d *Daemon) DeployService(service string, servers ...string) error {
 	}
 }
 
+// adminIdleTimeout bounds the silence between admin commands; an
+// operator session left open forever must not pin a connection slot.
+const adminIdleTimeout = 5 * time.Minute
+
 // acceptAdmin serves line-delimited JSON registrations.
 func (d *Daemon) acceptAdmin(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
 			return
 		}
 		d.adminConn.Add(1)
 		go func() {
 			defer d.adminConn.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					d.obs.Add(obs.CtrConnPanics, 1)
+					if d.log != nil {
+						d.log.Error("admin handler panic", "panic", r)
+					}
+				}
+			}()
 			defer conn.Close()
 			d.serveAdmin(conn)
 		}()
@@ -313,7 +329,21 @@ func (d *Daemon) acceptAdmin(ln net.Listener) {
 // serveAdmin handles one admin connection.
 func (d *Daemon) serveAdmin(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
-	for sc.Scan() {
+	// Bound per-line allocation: registrations are small; a peer that
+	// streams an unbounded line is dropped, not buffered.
+	sc.Buffer(make([]byte, 0, 4096), 1<<16)
+	for {
+		conn.SetReadDeadline(time.Now().Add(adminIdleTimeout))
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					d.obs.Add(obs.CtrDeadlineKicks, 1)
+				} else {
+					d.obs.Add(obs.CtrConnDrops, 1)
+				}
+			}
+			return
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue

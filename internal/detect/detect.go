@@ -209,6 +209,47 @@ func (d *Detector) fromScores(x, scores []float64) []Detection {
 	return out
 }
 
+// MaskScores returns a copy of scores with NaN written at every
+// position whose scoring window overlaps a gap bin. A scorer looking
+// past bins [t−past+1, t+future−1] around position t cannot produce a
+// trustworthy score when any of those bins was interpolated rather
+// than measured; since fromScores terminates runs at NaN scores, the
+// mask guarantees no detection is declared out of invented data. gap
+// is the per-bin missing-measurement bitmap aligned with scores.
+func MaskScores(scores []float64, gap []bool, past, future int) []float64 {
+	if past < 1 {
+		past = 1
+	}
+	if future < 1 {
+		future = 1
+	}
+	n := len(scores)
+	out := make([]float64, n)
+	copy(out, scores)
+	// prefix[i] = number of gap bins in gap[:i].
+	prefix := make([]int, len(gap)+1)
+	for i, g := range gap {
+		prefix[i+1] = prefix[i]
+		if g {
+			prefix[i+1]++
+		}
+	}
+	for t := 0; t < n; t++ {
+		lo := t - past + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := t + future // exclusive bound of [t, t+future−1]
+		if hi > len(gap) {
+			hi = len(gap)
+		}
+		if lo < hi && prefix[hi]-prefix[lo] > 0 {
+			out[t] = math.NaN()
+		}
+	}
+	return out
+}
+
 // First returns the earliest detection in x, if any.
 func (d *Detector) First(x []float64) (Detection, bool) {
 	dets := d.Detect(x)

@@ -1,0 +1,225 @@
+// Package faultnet wraps net.Conn and net.Listener with injectable
+// network faults — connection resets, partial writes, write delays,
+// byte corruption, accept failures — under a deterministic seed, so the
+// dataflow's fault tolerance (reconnecting publishers and subscribers,
+// hardened servers, gap-tolerant assessment) can be exercised
+// end-to-end in ordinary `go test` runs. It is test infrastructure
+// with no dependencies beyond the standard library; production builds
+// never import it.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan describes which faults to inject and how often. The zero value
+// injects nothing (a transparent wrapper).
+type Plan struct {
+	// Seed makes every probabilistic decision deterministic; 0 means 1.
+	Seed int64
+	// PartialWriteProb is the per-Write probability of a torn write:
+	// only a prefix of the buffer reaches the wire, the connection is
+	// killed, and the Write returns an error — the classic
+	// mid-frame connection reset.
+	PartialWriteProb float64
+	// CorruptProb is the per-Write probability of flipping one byte of
+	// the buffer before it reaches the wire (the write succeeds).
+	CorruptProb float64
+	// ResetAfterWrites kills the connection with a reset error after
+	// that many successful writes; 0 disables.
+	ResetAfterWrites int
+	// WriteDelay stalls every Write by this duration (slow-peer
+	// simulation, exercising server write deadlines).
+	WriteDelay time.Duration
+	// AcceptFailEvery makes every n-th Accept return a transient
+	// error; 0 disables. Listeners must tolerate transient accept
+	// errors without abandoning the accept loop.
+	AcceptFailEvery int
+}
+
+// Stats counts the faults an Injector actually delivered.
+type Stats struct {
+	Resets        int64 // connections killed (partial writes + write-count resets + Sever)
+	PartialWrites int64 // torn writes delivered
+	Corruptions   int64 // bytes flipped
+	AcceptFails   int64 // transient accept errors injected
+}
+
+// Injector owns a Plan, its deterministic random stream, and the fault
+// counters. One Injector may wrap many connections; its decisions are
+// serialized so a fixed seed yields a reproducible fault schedule for
+// a deterministic workload.
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	accepts int
+
+	resets        atomic.Int64
+	partialWrites atomic.Int64
+	corruptions   atomic.Int64
+	acceptFails   atomic.Int64
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats snapshots the delivered-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Resets:        in.resets.Load(),
+		PartialWrites: in.partialWrites.Load(),
+		Corruptions:   in.corruptions.Load(),
+		AcceptFails:   in.acceptFails.Load(),
+	}
+}
+
+// chance draws one deterministic Bernoulli decision.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// corruptIndex picks which byte of an n-byte buffer to flip.
+func (in *Injector) corruptIndex(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Wrap returns conn with the injector's faults applied to its writes.
+func (in *Injector) Wrap(conn net.Conn) net.Conn {
+	return &Conn{Conn: conn, in: in}
+}
+
+// WrapListener returns ln with accept failures injected and every
+// accepted connection wrapped.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &Listener{Listener: ln, in: in}
+}
+
+// Conn is a net.Conn with fault injection on the write path. Reads
+// pass through untouched — a fault on one peer's writes is the other
+// peer's read failure, so injecting on writes covers both directions
+// of a proxied link.
+type Conn struct {
+	net.Conn
+	in     *Injector
+	writes int
+	dead   atomic.Bool
+}
+
+// errInjected is the reset error surfaced by injected kills.
+type errInjected struct{ kind string }
+
+func (e errInjected) Error() string { return "faultnet: injected " + e.kind }
+
+// IsInjected reports whether err came from a faultnet injection, so
+// tests can tell injected faults from real ones.
+func IsInjected(err error) bool {
+	_, ok := err.(errInjected)
+	return ok
+}
+
+// Write applies the plan: maybe delay, maybe corrupt a byte, maybe
+// tear the write and kill the connection, maybe reset after a write
+// budget.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, errInjected{"reset"}
+	}
+	plan := c.in.plan
+	if plan.WriteDelay > 0 {
+		time.Sleep(plan.WriteDelay)
+	}
+	if c.in.chance(plan.PartialWriteProb) {
+		n := len(b) / 2
+		if n > 0 {
+			_, _ = c.Conn.Write(b[:n])
+		}
+		c.kill()
+		c.in.partialWrites.Add(1)
+		return n, errInjected{"partial write"}
+	}
+	if c.in.chance(plan.CorruptProb) && len(b) > 0 {
+		corrupted := make([]byte, len(b))
+		copy(corrupted, b)
+		corrupted[c.in.corruptIndex(len(b))] ^= 0xFF
+		c.in.corruptions.Add(1)
+		b = corrupted
+	}
+	n, err := c.Conn.Write(b)
+	if err == nil {
+		c.writes++
+		if plan.ResetAfterWrites > 0 && c.writes >= plan.ResetAfterWrites {
+			c.kill()
+			return n, errInjected{"reset"}
+		}
+	}
+	return n, err
+}
+
+// kill closes the underlying connection and marks it dead, counting
+// one reset.
+func (c *Conn) kill() {
+	if c.dead.CompareAndSwap(false, true) {
+		_ = c.Conn.Close()
+		c.in.resets.Add(1)
+	}
+}
+
+// Sever kills the connection immediately (a scheduled reset).
+func (c *Conn) Sever() { c.kill() }
+
+// Listener injects transient accept failures and wraps accepted
+// connections.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// Accept may return a transient injected error per AcceptFailEvery;
+// otherwise it wraps the accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	every := l.in.plan.AcceptFailEvery
+	if every > 0 {
+		l.in.mu.Lock()
+		l.in.accepts++
+		fail := l.in.accepts%every == 0
+		l.in.mu.Unlock()
+		if fail {
+			l.in.acceptFails.Add(1)
+			return nil, tempError{}
+		}
+	}
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(conn), nil
+}
+
+// tempError is a transient accept error (net.Error with Temporary
+// true), mimicking kernel-level accept failures like EMFILE.
+type tempError struct{}
+
+func (tempError) Error() string   { return "faultnet: injected accept failure" }
+func (tempError) Timeout() bool   { return false }
+func (tempError) Temporary() bool { return true }
+
+var _ net.Error = tempError{}

@@ -9,6 +9,7 @@ package funnel
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/changelog"
@@ -71,6 +72,25 @@ type Config struct {
 	// each scope. Empty means every metric the source has is out of
 	// scope — callers must say what to monitor.
 	ServerMetrics, InstanceMetrics []string
+	// GapPolicy selects how missing bins inside the assessment window
+	// are treated when the feed is healthy enough to assess at all:
+	// GapInterpolate (default) fills them linearly, GapMask
+	// additionally suppresses every change score whose window overlaps
+	// an interpolated bin, so a detection can never be declared out of
+	// invented data.
+	GapPolicy GapPolicy
+	// MaxGapFraction bounds the fraction of missing bins tolerated in
+	// the ±WindowBins assessment window (default 0.25). A gappier
+	// window yields Inconclusive instead of a verdict: a KPI fed
+	// through a severed connection must never produce a false flag.
+	MaxGapFraction float64
+	// StaleBins is the staleness horizon: when the assessment window
+	// is missing at least this many trailing bins (the feed stopped
+	// mid-window), the KPI is Inconclusive regardless of the overall
+	// gap fraction (default 15). It also bounds how long the online
+	// assessor waits for a stalled probe series once the rest of the
+	// store has reached the ready bin.
+	StaleBins int
 	// SkipDetection disables the SST stage and treats every KPI as
 	// changed, leaving the decision entirely to DiD. Used by ablation
 	// benches.
@@ -120,6 +140,12 @@ func (c Config) withDefaults() Config {
 	if c.WindowBins <= 0 {
 		c.WindowBins = 60
 	}
+	if c.MaxGapFraction <= 0 {
+		c.MaxGapFraction = 0.25
+	}
+	if c.StaleBins <= 0 {
+		c.StaleBins = 15
+	}
 	zero := sst.Config{}
 	if c.SST == zero {
 		c.SST = sst.Config{Normalize: true, RobustFilter: true}
@@ -140,6 +166,13 @@ const (
 	// ChangedBySoftware means a change was detected and DiD attributed
 	// it to the software change.
 	ChangedBySoftware
+	// Inconclusive means the KPI feed was too gappy or stale inside the
+	// assessment window to support any verdict: the measurements needed
+	// to tell "no change" from "change" never arrived. The gap fraction
+	// is reported so the operations team can find the broken feed; an
+	// interrupted feed must never be mistaken for a software-caused
+	// regression (or a healthy no-change).
+	Inconclusive
 )
 
 // String names the verdict.
@@ -151,10 +184,26 @@ func (v Verdict) String() string {
 		return "changed-by-other"
 	case ChangedBySoftware:
 		return "changed-by-software"
+	case Inconclusive:
+		return "inconclusive"
 	default:
 		return "unknown"
 	}
 }
+
+// GapPolicy selects how missing bins are treated during detection.
+type GapPolicy int
+
+const (
+	// GapInterpolate fills missing bins linearly before scoring (the
+	// pre-existing behavior, suited to short sporadic dropouts).
+	GapInterpolate GapPolicy = iota
+	// GapMask fills missing bins for the scorer's benefit but masks
+	// every change score whose SST window overlaps a filled bin, so
+	// runs cannot be declared out of interpolated data. Suited to
+	// bursty outages where interpolation would fake a level shift.
+	GapMask
+)
 
 // Assessment is the per-KPI outcome delivered to the operations team
 // (step 12 of Fig. 3).
@@ -176,6 +225,11 @@ type Assessment struct {
 	// groups drifting apart *before* the change, weakening the causal
 	// read of Alpha.
 	TrendWarning bool
+	// GapFraction is the fraction of the assessment window whose bins
+	// never arrived (0 for a healthy feed). It is always populated so
+	// reports can show feed health, and it explains an Inconclusive
+	// verdict.
+	GapFraction float64
 	// ControlSimilarity is the Pearson correlation between the treated
 	// series and the control average over the pre-change period, when a
 	// concurrent control was used (0 otherwise). §3.2.4's first
@@ -360,7 +414,8 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		kt = &obs.KPITrace{Key: key.String()}
 		defer func() {
 			kt.Verdict = out.Verdict.String()
-			if out.Verdict != NoChange {
+			kt.GapFraction = out.GapFraction
+			if out.Verdict == ChangedByOther || out.Verdict == ChangedBySoftware {
 				kt.Score = out.Detection.Peak
 				kt.Kind = out.Detection.Kind.String()
 				kt.Control = out.ControlKind.String()
@@ -396,19 +451,40 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 			series = treated
 		}
 	}
-	if series.HasGaps() {
-		series = series.Clone().FillGaps()
-	}
-	changeBin, inRange := series.IndexOf(change.At)
-	if !inRange {
+	// Gap accounting runs on the raw series, before interpolation: a
+	// bin is missing when no measurement ever arrived for it. The
+	// change bin is computed arithmetically so a feed severed before
+	// the change still lands in the gap gate below instead of an
+	// index-out-of-range error (which downstream would conservatively
+	// flag — a false alarm born of a broken feed, the exact failure
+	// the gate exists to prevent).
+	gaps := gapBitmap(series)
+	changeBin := int(change.At.Sub(series.Start) / series.Step)
+	if changeBin < 0 {
 		out.Err = fmt.Errorf("funnel: change time outside series for %v", key)
 		return out
 	}
 	*changeBinOut = changeBin
 
+	// Feed-health gate: a window with too many missing bins, or one
+	// whose feed went stale mid-window, cannot support a verdict in
+	// either direction.
+	gapFrac, staleTail := gapStats(series, gaps, changeBin, a.cfg.WindowBins)
+	out.GapFraction = gapFrac
+	if gapFrac > a.cfg.MaxGapFraction || staleTail >= a.cfg.StaleBins {
+		out.Verdict = Inconclusive
+		out.Err = fmt.Errorf("funnel: feed for %v too gappy to assess: %.0f%% of the ±%d-bin window missing (stale tail %d bins)",
+			key, gapFrac*100, a.cfg.WindowBins, staleTail)
+		a.obs.Add(obs.CtrInconclusive, 1)
+		return out
+	}
+	if series.HasGaps() {
+		series = series.Clone().FillGaps()
+	}
+
 	// Step 2 of Fig. 3: KPI change detection over the assessment
 	// window around the change.
-	detection, found := a.detectAround(series, changeBin, kt)
+	detection, found := a.detectAround(series, gaps, changeBin, kt)
 	if a.cfg.SkipDetection {
 		found = true
 		if detection.Start == 0 && detection.End == 0 {
@@ -451,7 +527,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 // half, with indices translated to absolute series positions. The
 // scoring pass and the persistence gating are timed as separate
 // stages.
-func (a *Assessor) detectAround(series *timeseries.Series, changeBin int, kt *obs.KPITrace) (detect.Detection, bool) {
+func (a *Assessor) detectAround(series *timeseries.Series, gaps []bool, changeBin int, kt *obs.KPITrace) (detect.Detection, bool) {
 	w := a.cfg.WindowBins
 	lo := changeBin - w - a.cfg.SST.PastSpan()
 	if lo < 0 {
@@ -461,9 +537,18 @@ func (a *Assessor) detectAround(series *timeseries.Series, changeBin int, kt *ob
 	if hi > series.Len() {
 		hi = series.Len()
 	}
+	if lo >= hi {
+		return detect.Detection{}, false
+	}
 	segment := series.Values[lo:hi]
 	ts := a.obs.Now()
 	scores := sst.ScoreSeries(a.scorer, segment)
+	if a.cfg.GapPolicy == GapMask && len(gaps) >= hi {
+		// Suppress scores whose SST window touches an interpolated bin:
+		// NaN scores terminate persistence runs, so no detection can be
+		// declared out of invented data.
+		scores = detect.MaskScores(scores, gaps[lo:hi], a.cfg.SST.PastSpan(), a.cfg.SST.FutureSpan())
+	}
 	a.stamp(kt, obs.StageSSTScore, ts)
 	tp := a.obs.Now()
 	dets := a.det.DetectScored(segment, scores)
@@ -481,6 +566,48 @@ func (a *Assessor) detectAround(series *timeseries.Series, changeBin int, kt *ob
 		}
 	}
 	return detect.Detection{}, false
+}
+
+// gapBitmap marks which bins of a raw (unfilled) series carry no
+// measurement.
+func gapBitmap(s *timeseries.Series) []bool {
+	out := make([]bool, s.Len())
+	for i, v := range s.Values {
+		out[i] = math.IsNaN(v)
+	}
+	return out
+}
+
+// gapStats measures feed health inside the ±w assessment window around
+// changeBin: frac is the fraction of window bins with no measurement
+// (interior gaps plus any part of the window past the series end — a
+// feed that died never delivers those bins), staleTail is the length
+// of the consecutive missing run at the window's end (a feed that
+// stopped mid-window and never came back).
+func gapStats(s *timeseries.Series, gaps []bool, changeBin, w int) (frac float64, staleTail int) {
+	lo := changeBin - w
+	if lo < 0 {
+		lo = 0
+	}
+	hi := changeBin + w
+	if hi <= lo {
+		return 0, 0
+	}
+	missing := 0
+	n := len(gaps)
+	for i := lo; i < hi; i++ {
+		if i >= n || gaps[i] {
+			missing++
+		}
+	}
+	for i := hi - 1; i >= lo; i-- {
+		if i >= n || gaps[i] {
+			staleTail++
+		} else {
+			break
+		}
+	}
+	return float64(missing) / float64(hi-lo), staleTail
 }
 
 // determination is the outcome of the Fig. 3 cause-determination

@@ -146,11 +146,21 @@ func (o *Online) assessReady() {
 	o.mu.Lock()
 	var ready []pendingChange
 	var still []pendingChange
+	stats := o.store.Stats()
+	patience := o.assessor.cfg.StaleBins
 	for _, p := range o.pending {
 		s, ok := o.store.Series(p.probe)
-		if ok && s.Len() > p.readyBin {
+		switch {
+		case ok && s.Len() > p.readyBin:
 			ready = append(ready, p)
-		} else {
+		case stats.LastBin >= p.readyBin+patience:
+			// The probe feed stalled but the rest of the store moved well
+			// past the ready bin: assess anyway. The per-KPI gap gate
+			// turns the stalled feeds into explicit Inconclusive verdicts
+			// instead of leaving the change pending forever (and instead
+			// of ever flagging a severed feed as a regression).
+			ready = append(ready, p)
+		default:
 			still = append(still, p)
 		}
 	}

@@ -3,6 +3,8 @@ package monitor
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 	"time"
 
@@ -85,13 +87,84 @@ func FuzzReadSnapshot(f *testing.F) {
 	})
 }
 
-// FuzzReadFrame exercises the length-prefixed framing.
+// FuzzReadFrame exercises the length-prefixed framing, including the
+// max-frame-size rejection path.
 func FuzzReadFrame(f *testing.F) {
 	var framed bytes.Buffer
 	_ = WriteFrame(&framed, []byte("payload"))
 	f.Add(framed.Bytes())
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized length prefix
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil && len(payload) > maxFrame {
+			t.Fatalf("accepted %d-byte frame past the %d bound", len(payload), maxFrame)
+		}
+		if errors.Is(err, ErrFrameTooLarge) && len(data) >= 4 &&
+			binary.BigEndian.Uint32(data) <= maxFrame {
+			t.Fatalf("rejected %d-byte frame as oversized", binary.BigEndian.Uint32(data))
+		}
+	})
+}
+
+// FuzzDecodeSubscribeSince checks the resume-subscribe codec: no
+// panics, and accepted payloads round-trip including the watermark.
+func FuzzDecodeSubscribeSince(f *testing.F) {
+	good, _ := EncodeSubscribeSince(time.Unix(600, 0).UTC(), []string{"server/"})
+	f.Add(good)
+	live, _ := EncodeSubscribeSince(time.Time{}, nil)
+	f.Add(live)
+	f.Add([]byte{frameSubscribeSince})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		since, prefixes, err := DecodeSubscribeSince(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSubscribeSince(since, prefixes)
+		if err != nil {
+			t.Fatalf("accepted subscribe-since failed to re-encode: %v", err)
+		}
+		since2, prefixes2, err := DecodeSubscribeSince(re)
+		if err != nil {
+			t.Fatalf("re-encoded subscribe-since failed to decode: %v", err)
+		}
+		if !since2.Equal(since) || len(prefixes2) != len(prefixes) {
+			t.Fatalf("round trip drifted: (%v, %v) vs (%v, %v)", since2, prefixes2, since, prefixes)
+		}
+	})
+}
+
+// FuzzIngestStream drives the full publisher frame path — framing plus
+// measurement decoding — over an arbitrary byte stream, exactly as an
+// IngestServer handler does with a hostile or corrupted peer: it must
+// never panic, and every frame it accepts must carry a decodable
+// measurement or terminate the stream.
+func FuzzIngestStream(f *testing.F) {
+	var healthy bytes.Buffer
+	m := Measurement{
+		Key: topo.KPIKey{Scope: topo.ScopeServer, Entity: "srv-1", Metric: "mem.util"},
+		T:   time.Unix(300, 0).UTC(), V: 0.5,
+	}
+	frame, _ := EncodeMeasurement(m)
+	_ = WriteFrame(&healthy, frame)
+	_ = WriteFrame(&healthy, frame)
+	f.Add(healthy.Bytes())
+	// A healthy prefix followed by a corrupted frame: the stream must
+	// terminate cleanly at the corruption, not panic.
+	torn := append([]byte{}, healthy.Bytes()...)
+	torn[len(torn)-3] ^= 0xFF
+	f.Add(torn)
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, frameMeasurement})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if _, err := DecodeMeasurement(payload); err != nil {
+				return // protocol violation: a real server drops the peer here
+			}
+		}
 	})
 }

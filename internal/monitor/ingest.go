@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -13,8 +14,18 @@ import (
 // subscription push uses), which are appended to the store. Together
 // with Server this completes §2.2's dataflow — agents publish, the
 // centralized store aggregates, downstream consumers subscribe.
+//
+// Connections are hardened: a publisher silent for longer than
+// ReadTimeout is dropped (agents flush at least once per bin, so the
+// default leaves ample slack), oversized frames are rejected, and a
+// panic in one handler drops that connection without taking the server
+// down.
 type IngestServer struct {
 	store *Store
+
+	// ReadTimeout bounds the silence between frames from one
+	// publisher; 0 means DefaultIngestReadTimeout, negative disables.
+	ReadTimeout time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -32,25 +43,27 @@ func (s *IngestServer) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve starts accepting publishers on an existing listener (tests
+// inject fault-wrapped listeners here) in a background goroutine.
+func (s *IngestServer) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
 	s.handlers.Add(1)
 	go func() {
 		defer s.handlers.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
+		acceptLoop(ln, func(conn net.Conn) {
 			s.handlers.Add(1)
 			go func() {
 				defer s.handlers.Done()
 				s.handle(conn)
 			}()
-		}
+		})
 	}()
-	return ln.Addr(), nil
 }
 
 // Close stops accepting; active publisher connections end when their
@@ -69,20 +82,32 @@ func (s *IngestServer) Close() error {
 }
 
 // handle consumes measurement frames from one publisher until the
-// connection drops or a malformed frame arrives.
+// connection drops, a malformed frame arrives, or the read deadline
+// expires.
 func (s *IngestServer) handle(conn net.Conn) {
-	defer conn.Close()
 	col := s.store.Collector()
+	defer func() {
+		if r := recover(); r != nil {
+			col.Add(obs.CtrConnPanics, 1)
+		}
+	}()
+	defer conn.Close()
 	col.Add(obs.CtrConnsActive, 1)
 	defer col.Add(obs.CtrConnsActive, -1)
+	rt := timeout(s.ReadTimeout, DefaultIngestReadTimeout)
 	r := bufio.NewReader(conn)
 	for {
+		if rt > 0 {
+			conn.SetReadDeadline(time.Now().Add(rt))
+		}
 		payload, err := ReadFrame(r)
 		if err != nil {
+			countReadErr(col, err)
 			return
 		}
 		m, err := DecodeMeasurement(payload)
 		if err != nil {
+			col.Add(obs.CtrConnDrops, 1)
 			return // protocol violation: drop the publisher
 		}
 		s.store.Append(m)

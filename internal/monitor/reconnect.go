@@ -1,0 +1,307 @@
+package monitor
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Backoff tunes reconnection pacing: exponential growth from Initial
+// to Max with multiplicative jitter, giving up after MaxAttempts
+// consecutive failures. The zero value takes the documented defaults.
+type Backoff struct {
+	// Initial is the first retry delay (default 100ms).
+	Initial time.Duration
+	// Max caps the delay growth (default 5s).
+	Max time.Duration
+	// Factor multiplies the delay after each failure (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay randomized on each attempt
+	// (default 0.2): the actual wait is delay × (1 ± Jitter), which
+	// de-synchronizes a fleet of agents reconnecting after a shared
+	// outage (the thundering-herd problem).
+	Jitter float64
+	// MaxAttempts bounds consecutive failed attempts before the
+	// reconnector gives up and surfaces its error; 0 means unlimited.
+	MaxAttempts int
+	// Seed makes the jitter stream deterministic for tests; 0 derives
+	// one from the clock.
+	Seed int64
+}
+
+// withDefaults resolves the zero-value conventions.
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// backoffState tracks one reconnector's position in the schedule.
+type backoffState struct {
+	cfg      Backoff
+	delay    time.Duration
+	attempts int
+	rng      *rand.Rand
+}
+
+// newBackoffState starts a schedule at the initial delay.
+func newBackoffState(cfg Backoff) *backoffState {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &backoffState{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// next returns the jittered delay before the upcoming attempt, or
+// ok=false when the attempt budget is exhausted.
+func (s *backoffState) next() (time.Duration, bool) {
+	if s.cfg.MaxAttempts > 0 && s.attempts >= s.cfg.MaxAttempts {
+		return 0, false
+	}
+	s.attempts++
+	if s.delay == 0 {
+		s.delay = s.cfg.Initial
+	} else {
+		s.delay = time.Duration(float64(s.delay) * s.cfg.Factor)
+		if s.delay > s.cfg.Max {
+			s.delay = s.cfg.Max
+		}
+	}
+	d := s.delay
+	if j := s.cfg.Jitter; j > 0 {
+		// delay × (1 ± j)
+		d = time.Duration(float64(d) * (1 - j + 2*j*s.rng.Float64()))
+	}
+	return d, true
+}
+
+// reset reverts to the initial delay after a successful connection.
+func (s *backoffState) reset() {
+	s.delay = 0
+	s.attempts = 0
+}
+
+// PublisherConfig tunes a RobustPublisher.
+type PublisherConfig struct {
+	// Backoff paces reconnect attempts (zero value = defaults).
+	Backoff Backoff
+	// ReplayCapacity bounds the resend ring, in measurements (default
+	// 8192). On every reconnect the publisher resends the whole ring;
+	// the store's overwrite-by-(key, bin) semantics make the resend
+	// idempotent, so a flap loses nothing as long as the ring covers
+	// the outage. Overflow evicts the oldest entry and counts it in
+	// Dropped — loss is observable, never silent.
+	ReplayCapacity int
+	// Obs counts reconnects on obs.CtrReconnects.
+	Obs *obs.Collector
+}
+
+// RobustPublisher is a Publisher that survives connection flaps: every
+// published measurement enters a bounded replay ring, writes that fail
+// mark the connection down, and subsequent Publish/Flush calls redial
+// on the backoff schedule and resend the ring. It is not safe for
+// concurrent use — one publisher per agent goroutine, like Publisher.
+type RobustPublisher struct {
+	addr string
+	cfg  PublisherConfig
+
+	conn net.Conn
+	w    *bufio.Writer
+
+	ring  []Measurement
+	start int // index of the oldest live entry
+	count int
+
+	bo          *backoffState
+	nextAttempt time.Time
+	reconnects  int64
+	dropped     int64
+	lastErr     error
+	closed      bool
+}
+
+// DialRobustPublisher connects to an ingest endpoint with reconnect
+// and replay enabled. The initial dial is synchronous so configuration
+// errors (bad address, dead endpoint) surface immediately; failures
+// after that are absorbed by the reconnect loop.
+func DialRobustPublisher(addr string, cfg PublisherConfig) (*RobustPublisher, error) {
+	if cfg.ReplayCapacity <= 0 {
+		cfg.ReplayCapacity = 8192
+	}
+	p := &RobustPublisher{
+		addr: addr,
+		cfg:  cfg,
+		ring: make([]Measurement, cfg.ReplayCapacity),
+		bo:   newBackoffState(cfg.Backoff),
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.attach(conn)
+	return p, nil
+}
+
+// attach installs a fresh connection.
+func (p *RobustPublisher) attach(conn net.Conn) {
+	p.conn = conn
+	p.w = bufio.NewWriter(conn)
+	p.bo.reset()
+	p.lastErr = nil
+}
+
+// disconnect records a transport failure and schedules the next
+// reconnect attempt.
+func (p *RobustPublisher) disconnect(err error) {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.w = nil
+	}
+	p.lastErr = err
+	delay, ok := p.bo.next()
+	if !ok {
+		// Budget exhausted: stay down until the caller closes; Err
+		// reports why.
+		p.nextAttempt = time.Time{}
+		p.closed = true
+		return
+	}
+	p.nextAttempt = time.Now().Add(delay)
+}
+
+// remember appends a measurement to the replay ring, evicting the
+// oldest on overflow.
+func (p *RobustPublisher) remember(m Measurement) {
+	if p.count == len(p.ring) {
+		p.start = (p.start + 1) % len(p.ring)
+		p.count--
+		p.dropped++
+	}
+	p.ring[(p.start+p.count)%len(p.ring)] = m
+	p.count++
+}
+
+// tryReconnect redials once the backoff window has elapsed and, on
+// success, resends the whole replay ring. It reports whether the
+// publisher is connected afterwards.
+func (p *RobustPublisher) tryReconnect() bool {
+	if p.conn != nil {
+		return true
+	}
+	if p.closed || time.Now().Before(p.nextAttempt) {
+		return false
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, time.Second)
+	if err != nil {
+		p.disconnect(err)
+		return false
+	}
+	p.attach(conn)
+	p.reconnects++
+	p.cfg.Obs.Add(obs.CtrReconnects, 1)
+	// Resend everything we still hold: the ingest store overwrites by
+	// (key, bin), so replaying measurements the server already has is
+	// harmless, and replaying ones it lost closes the gap.
+	for i := 0; i < p.count; i++ {
+		m := p.ring[(p.start+i)%len(p.ring)]
+		if err := p.writeMeasurement(m); err != nil {
+			p.disconnect(err)
+			return false
+		}
+	}
+	if err := p.w.Flush(); err != nil {
+		p.disconnect(err)
+		return false
+	}
+	return true
+}
+
+// writeMeasurement frames and buffers one measurement.
+func (p *RobustPublisher) writeMeasurement(m Measurement) error {
+	frame, err := EncodeMeasurement(m)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(p.w, frame)
+}
+
+// Publish queues one measurement and sends it if connected. A
+// transport failure is absorbed: the measurement stays in the replay
+// ring and a later Publish/Flush redials per the backoff schedule.
+// Only encoding errors (malformed keys) are returned.
+func (p *RobustPublisher) Publish(m Measurement) error {
+	if _, err := EncodeMeasurement(m); err != nil {
+		return err
+	}
+	p.remember(m)
+	if !p.tryReconnect() {
+		return nil // queued; a future call resends
+	}
+	if err := p.writeMeasurement(m); err != nil {
+		p.disconnect(err)
+	}
+	return nil
+}
+
+// Flush pushes buffered frames to the wire, reconnecting first if the
+// connection is down.
+func (p *RobustPublisher) Flush() error {
+	if !p.tryReconnect() {
+		return nil // still down; measurements are queued
+	}
+	if err := p.w.Flush(); err != nil {
+		p.disconnect(err)
+	}
+	return nil
+}
+
+// Connected reports whether the publisher currently holds a live
+// connection.
+func (p *RobustPublisher) Connected() bool { return p.conn != nil }
+
+// Reconnects returns how many times the publisher redialed
+// successfully.
+func (p *RobustPublisher) Reconnects() int64 { return p.reconnects }
+
+// Dropped returns how many measurements were evicted from the replay
+// ring before a reconnect could resend them — the only way this
+// publisher loses data.
+func (p *RobustPublisher) Dropped() int64 { return p.dropped }
+
+// Err returns the most recent transport error (nil while healthy). A
+// publisher whose backoff budget is exhausted stays down with this
+// error set.
+func (p *RobustPublisher) Err() error { return p.lastErr }
+
+// Close flushes best-effort and disconnects.
+func (p *RobustPublisher) Close() error {
+	p.closed = true
+	if p.conn == nil {
+		return p.lastErr
+	}
+	flushErr := p.w.Flush()
+	closeErr := p.conn.Close()
+	p.conn = nil
+	p.w = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+

@@ -9,6 +9,7 @@ package monitor
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -259,6 +260,39 @@ func (s *Store) Stats() Stats {
 	}
 	st.ApproxBytes = int64(st.Bins) * 8
 	return st
+}
+
+// ReplaySince snapshots every stored measurement whose key passes the
+// filter (nil matches everything) and whose bin time is at or after
+// since, ordered by bin time (ties in unspecified key order). Empty
+// (NaN) bins are skipped — they hold no measurement to replay. A
+// resuming subscriber replays from its last-seen low-water mark and
+// dedups the overlap by (key, bin).
+func (s *Store) ReplaySince(filter func(topo.KPIKey) bool, since time.Time) []Measurement {
+	s.mu.RLock()
+	var out []Measurement
+	lo := 0
+	if since.After(s.start) {
+		lo = int(since.Sub(s.start) / s.step)
+	}
+	for key, buf := range s.series {
+		if filter != nil && !filter(key) {
+			continue
+		}
+		for i := lo; i < len(buf); i++ {
+			if math.IsNaN(buf[i]) {
+				continue
+			}
+			t := s.start.Add(time.Duration(i) * s.step)
+			if t.Before(since) {
+				continue
+			}
+			out = append(out, Measurement{Key: key, T: t, V: buf[i]})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].T.Before(out[j].T) })
+	return out
 }
 
 // Subscribers returns the number of active subscriptions. Producers

@@ -3,6 +3,7 @@ package monitor
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -21,14 +22,28 @@ import (
 //	  count uint16, then count × (prefixLen uint16 | prefix)
 //	  A measurement matches when any prefix is a prefix of the
 //	  KPIKey.String() form; zero prefixes match everything.
+//	subscribe-since frame (type 0x03), client → server:
+//	  since int64 (unixNano) | count uint16, then count ×
+//	  (prefixLen uint16 | prefix)
+//	  Like subscribe, but the server first replays every stored
+//	  matching measurement at or after since (the resuming client's
+//	  low-water mark), then streams live. since 0 skips replay. The
+//	  replay and live streams may overlap; resuming clients dedup by
+//	  (key, bin).
 //
 // Strings are raw bytes (the system uses ASCII identifiers). Frames are
 // capped at maxFrame to bound allocation from a misbehaving peer.
 const (
-	frameMeasurement = 0x01
-	frameSubscribe   = 0x02
-	maxFrame         = 1 << 16
+	frameMeasurement    = 0x01
+	frameSubscribe      = 0x02
+	frameSubscribeSince = 0x03
+	maxFrame            = 1 << 16
 )
+
+// ErrFrameTooLarge marks frames rejected by the max-frame-size bound,
+// so servers can count hostile or corrupt peers separately from plain
+// I/O errors.
+var ErrFrameTooLarge = errors.New("monitor: frame exceeds size bound")
 
 // appendString writes a uint16-length-prefixed string.
 func appendString(b []byte, s string) ([]byte, error) {
@@ -138,10 +153,59 @@ func DecodeSubscribe(b []byte) ([]string, error) {
 	return out, nil
 }
 
+// EncodeSubscribeSince renders a subscribe-since frame payload: the
+// resume low-water mark followed by the key-string prefixes. A zero
+// since requests a live-only stream (no replay).
+func EncodeSubscribeSince(since time.Time, prefixes []string) ([]byte, error) {
+	if len(prefixes) > math.MaxUint16 {
+		return nil, fmt.Errorf("monitor: too many prefixes")
+	}
+	var nanos int64
+	if !since.IsZero() {
+		nanos = since.UnixNano()
+	}
+	b := []byte{frameSubscribeSince}
+	b = binary.BigEndian.AppendUint64(b, uint64(nanos))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(prefixes)))
+	var err error
+	for _, p := range prefixes {
+		if b, err = appendString(b, p); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeSubscribeSince parses a subscribe-since frame payload. A zero
+// since (no replay requested) decodes as the zero time.
+func DecodeSubscribeSince(b []byte) (since time.Time, prefixes []string, err error) {
+	if len(b) < 11 || b[0] != frameSubscribeSince {
+		return time.Time{}, nil, fmt.Errorf("monitor: not a subscribe-since frame")
+	}
+	nanos := int64(binary.BigEndian.Uint64(b[1:9]))
+	if nanos != 0 {
+		since = time.Unix(0, nanos).UTC()
+	}
+	n := int(binary.BigEndian.Uint16(b[9:11]))
+	b = b[11:]
+	prefixes = make([]string, 0, n)
+	var p string
+	for i := 0; i < n; i++ {
+		if p, b, err = readString(b); err != nil {
+			return time.Time{}, nil, err
+		}
+		prefixes = append(prefixes, p)
+	}
+	if len(b) != 0 {
+		return time.Time{}, nil, fmt.Errorf("monitor: %d trailing bytes in subscribe-since frame", len(b))
+	}
+	return since, prefixes, nil
+}
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
-		return fmt.Errorf("monitor: frame too large (%d bytes)", len(payload))
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, len(payload))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -161,7 +225,7 @@ func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("monitor: oversized frame (%d bytes)", n)
+		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -86,6 +86,27 @@ const (
 	// CtrRunsDiscarded counts score runs the persistence rule
 	// discarded as one-off events.
 	CtrRunsDiscarded = "detect.runs_discarded"
+	// CtrReconnects counts successful client/publisher redials after a
+	// broken connection.
+	CtrReconnects = "monitor.reconnects"
+	// CtrReplayed counts measurements replayed from the store to a
+	// resuming subscriber (resume-from-last-seen-bin).
+	CtrReplayed = "monitor.replayed"
+	// CtrDeadlineKicks counts connections a server closed because a
+	// read or write deadline expired.
+	CtrDeadlineKicks = "monitor.deadline_kicks"
+	// CtrFrameRejects counts frames rejected for exceeding the
+	// max-frame-size bound.
+	CtrFrameRejects = "monitor.frame_rejects"
+	// CtrConnPanics counts per-connection handler panics that were
+	// recovered (the connection is dropped, the server survives).
+	CtrConnPanics = "monitor.conn_panics"
+	// CtrConnDrops counts connections a server dropped for protocol
+	// violations or I/O errors (clean client disconnects excluded).
+	CtrConnDrops = "monitor.conn_drops"
+	// CtrInconclusive counts per-KPI assessments that came back
+	// inconclusive because the feed was too gappy or stale.
+	CtrInconclusive = "assess.kpis_inconclusive"
 )
 
 // Collector aggregates counters, stage histograms and recent traces.

@@ -32,6 +32,10 @@ type KPITrace struct {
 	TStat float64 `json:"t_stat,omitempty"`
 	// Verdict is the final per-KPI conclusion.
 	Verdict string `json:"verdict"`
+	// GapFraction is the fraction of the assessment window with no
+	// data (missing or stale bins); an inconclusive verdict records
+	// here why the pipeline declined to decide.
+	GapFraction float64 `json:"gap_fraction,omitempty"`
 	// Err records a per-KPI processing problem.
 	Err string `json:"error,omitempty"`
 }

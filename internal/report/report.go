@@ -44,6 +44,7 @@ type JSONAssessment struct {
 	AvailableBin int     `json:"available_bin,omitempty"`
 	TrendWarning bool    `json:"trend_warning,omitempty"`
 	Similarity   float64 `json:"control_similarity,omitempty"`
+	GapFraction  float64 `json:"gap_fraction,omitempty"`
 	Error        string  `json:"error,omitempty"`
 }
 
@@ -67,8 +68,9 @@ func ToJSON(r *funnel.Report) JSONReport {
 			Metric:       a.Key.Metric,
 			Verdict:      a.Verdict.String(),
 			TrendWarning: a.TrendWarning,
+			GapFraction:  a.GapFraction,
 		}
-		if a.Verdict != funnel.NoChange {
+		if a.Verdict == funnel.ChangedByOther || a.Verdict == funnel.ChangedBySoftware {
 			ja.Kind = a.Detection.Kind.String()
 			ja.Alpha = a.Alpha
 			ja.TStat = obs.Finite(a.TStat)
@@ -137,6 +139,11 @@ func WriteText(w io.Writer, r *funnel.Report, verbose bool) error {
 				a.Key, a.Alpha, a.ControlKind); err != nil {
 				return err
 			}
+		case funnel.Inconclusive:
+			if _, err := fmt.Fprintf(w, "  inconcl. %-44s %.0f%% of window missing — check the feed\n",
+				a.Key, a.GapFraction*100); err != nil {
+				return err
+			}
 		case funnel.NoChange:
 			if _, err := fmt.Fprintf(w, "  quiet    %-44s\n", a.Key); err != nil {
 				return err
@@ -162,7 +169,11 @@ func WriteTraceText(w io.Writer, tr *obs.Trace) error {
 	}
 	for _, k := range tr.KPIs {
 		detail := ""
-		if k.Verdict != "no-change" {
+		switch k.Verdict {
+		case "no-change":
+		case "inconclusive":
+			detail = fmt.Sprintf(" gap=%.0f%%", k.GapFraction*100)
+		default:
 			detail = fmt.Sprintf(" score=%.2f kind=%s control=%s α=%+.2f t=%+.2f",
 				k.Score, k.Kind, k.Control, k.Alpha, k.TStat)
 		}
