@@ -20,8 +20,8 @@
 // (committed as BENCH_<n>.json, see README's Performance section):
 //
 //	funnelbench -run-bench                  measure and write -bench-out
-//	funnelbench -run-bench -bench-check F   measure and fail on alloc
-//	                                        regression vs baseline F
+//	funnelbench -run-bench -bench-check F   measure and fail on alloc or
+//	                                        latency regression vs baseline F
 package main
 
 import (
@@ -51,8 +51,8 @@ func main() {
 
 		runBench   = flag.Bool("run-bench", false, "run the latency/allocation benchmark suite")
 		benchIters = flag.Int("bench-iters", 300, "iterations per per-window benchmark entry")
-		benchOut   = flag.String("bench-out", "BENCH_1.json", "output path for the benchmark baseline JSON")
-		benchCheck = flag.String("bench-check", "", "baseline JSON to compare against; exit 1 on allocation regression")
+		benchOut   = flag.String("bench-out", "BENCH_2.json", "output path for the benchmark baseline JSON")
+		benchCheck = flag.String("bench-check", "", "baseline JSON to compare against; exit 1 on allocation or latency regression")
 	)
 	flag.Parse()
 	csvDir = *csvOut

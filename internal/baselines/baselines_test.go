@@ -158,7 +158,7 @@ func TestMRLSPanicsOutOfRange(t *testing.T) {
 
 func TestDownsample(t *testing.T) {
 	x := []float64{1, 2, 3, 4, 5}
-	d2 := downsample(x, 2)
+	d2 := downsampleInto(&mrlsWorkspace{}, x, 2)
 	want := []float64{1.5, 3.5, 5}
 	if len(d2) != 3 {
 		t.Fatalf("downsample len = %d", len(d2))
@@ -168,7 +168,7 @@ func TestDownsample(t *testing.T) {
 			t.Fatalf("downsample = %v", d2)
 		}
 	}
-	d1 := downsample(x, 1)
+	d1 := downsampleInto(&mrlsWorkspace{}, x, 1)
 	d1[0] = 99
 	if x[0] == 99 {
 		t.Fatal("downsample(1) must copy")

@@ -3,6 +3,7 @@ package baselines
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/sst"
@@ -51,6 +52,50 @@ type MRLS struct {
 	// Epsilon regularizes the IRLS weights 1/max(residual, Epsilon)
 	// (default 1e-6).
 	Epsilon float64
+
+	// pool holds per-evaluation workspaces so a steady-state score
+	// allocates nothing despite the Scales × Iterations SVDs. The
+	// *time* cost of the IRLS iteration is inherent to MRLS (§1); the
+	// former ~3k allocations per window were not.
+	pool sync.Pool
+}
+
+// mrlsWorkspace is every buffer one ScoreAt needs: the downsampled and
+// normalized windows, the trajectory/history/weighted matrices, the
+// IRLS state and the Jacobi SVD scratch.
+type mrlsWorkspace struct {
+	ds, norm, scratch          []float64
+	col, proj, res             []float64
+	weights, newW, resids      []float64
+	traj, hist, weighted, basis linalg.Matrix
+	svd                        linalg.SVDWorkspace
+}
+
+// growf returns s resized to n, reusing its backing array when possible.
+// Contents are unspecified.
+func growf(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// mcolDot returns the inner product of column j of m with v, accumulated
+// in the same ascending-row order as linalg.Dot(m.Col(j), v).
+func mcolDot(m *linalg.Matrix, j int, v []float64) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Cols+j] * v[i]
+	}
+	return s
+}
+
+// mcolAxpy computes y ← y + a·(column j of m) in place, mirroring
+// linalg.Axpy(a, m.Col(j), y) without extracting the column.
+func mcolAxpy(a float64, m *linalg.Matrix, j int, y []float64) {
+	for i := 0; i < m.Rows; i++ {
+		y[i] += a * m.Data[i*m.Cols+j]
+	}
 }
 
 // NewMRLS returns an MRLS scorer with the paper's evaluation window
@@ -88,13 +133,19 @@ func (m *MRLS) ScoreAt(x []float64, t int) float64 {
 		scales = []int{1, 2, 4}
 	}
 
+	ws, _ := m.pool.Get().(*mrlsWorkspace)
+	if ws == nil {
+		ws = &mrlsWorkspace{}
+	}
+	defer m.pool.Put(ws)
+
 	var best float64
 	for _, s := range scales {
 		if s < 1 {
 			continue
 		}
-		ds := downsample(window, s)
-		if v := m.scoreScale(ds); v > best {
+		ds := downsampleInto(ws, window, s)
+		if v := m.scoreScale(ws, ds); v > best {
 			best = v
 		}
 	}
@@ -106,7 +157,7 @@ func (m *MRLS) ScoreAt(x []float64, t int) float64 {
 // lag vectors only (everything but the newest), and the newest lag
 // vector is scored by its residual relative to the robust residual
 // level of that history.
-func (m *MRLS) scoreScale(window []float64) float64 {
+func (m *MRLS) scoreScale(ws *mrlsWorkspace, window []float64) float64 {
 	// Lag-vector geometry: square-ish trajectory matrix.
 	omega := len(window) / 4
 	if omega < 2 {
@@ -116,31 +167,51 @@ func (m *MRLS) scoreScale(window []float64) float64 {
 	if delta < m.Rank+2 {
 		return 0
 	}
-	norm := stats.NormalizeRobust(window)
-	traj := linalg.Hankel(norm, len(norm), omega, delta)
+	// Robust normalization of the window, inlining stats.NormalizeRobust
+	// onto the pooled buffers (same median/MAD arithmetic, same
+	// MAD → stddev → 1 scale-fallback chain).
+	ws.scratch = growf(ws.scratch, len(window))
+	med0, mad := stats.MedianMADInto(window, ws.scratch)
+	scale := mad * stats.MADScale
+	if scale == 0 {
+		scale = stats.Stddev(window)
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	ws.norm = growf(ws.norm, len(window))
+	norm := ws.norm
+	for i, v := range window {
+		norm[i] = (v - med0) / scale
+	}
+	linalg.HankelInto(&ws.traj, norm, len(norm), omega, delta)
+	traj := &ws.traj
 
 	// Historical trajectory: all lag vectors except the newest.
-	hist := linalg.NewMatrix(omega, delta-1)
+	ws.hist.Reshape(omega, delta-1)
+	hist := &ws.hist
 	for r := 0; r < omega; r++ {
 		copy(hist.Data[r*(delta-1):(r+1)*(delta-1)], traj.Data[r*delta:r*delta+delta-1])
 	}
-	basis := m.robustSubspace(hist)
-	if basis == nil {
+	if !m.robustSubspace(ws, hist) {
 		return 0
 	}
+	basis := &ws.basis
 
 	// Residual of every lag vector against the history subspace.
-	res := make([]float64, delta)
-	col := make([]float64, omega)
-	proj := make([]float64, omega)
+	res := growf(ws.res, delta)
+	ws.res = res
+	col := growf(ws.col, omega)
+	ws.col = col
+	proj := growf(ws.proj, omega)
+	ws.proj = proj
 	for c := 0; c < delta; c++ {
 		for r := 0; r < omega; r++ {
 			col[r] = traj.At(r, c)
 		}
 		copy(proj, col)
 		for j := 0; j < basis.Cols; j++ {
-			bj := basis.Col(j)
-			linalg.Axpy(-linalg.Dot(bj, col), bj, proj)
+			mcolAxpy(-mcolDot(basis, j, col), basis, j, proj)
 		}
 		res[c] = linalg.Norm2(proj)
 	}
@@ -152,16 +223,17 @@ func (m *MRLS) scoreScale(window []float64) float64 {
 	// units (the window was scaled to unit MAD above) and prevents
 	// numerically-tiny residuals on very smooth windows from turning
 	// into alarms.
-	med := stats.Median(res[:delta-1])
+	med := stats.MedianInto(res[:delta-1], ws.scratch)
 	return res[delta-1] / (med + 0.1)
 }
 
 // robustSubspace computes the rank-r IRLS-weighted subspace of the
 // trajectory matrix: alternately fit an SVD subspace and downweight
 // columns by the inverse of their residual, approximating the l1-norm
-// subspace. Returns the omega×r orthonormal basis, or nil when the
-// matrix is degenerate.
-func (m *MRLS) robustSubspace(traj *linalg.Matrix) *linalg.Matrix {
+// subspace. The omega×r orthonormal basis is left in ws.basis; the
+// return is false when the matrix is degenerate (even mid-iteration,
+// matching the pre-workspace behavior).
+func (m *MRLS) robustSubspace(ws *mrlsWorkspace, traj *linalg.Matrix) bool {
 	omega, delta := traj.Rows, traj.Cols
 	rank := m.Rank
 	if rank < 1 {
@@ -183,14 +255,23 @@ func (m *MRLS) robustSubspace(traj *linalg.Matrix) *linalg.Matrix {
 		eps = 1e-6
 	}
 
-	weights := make([]float64, delta)
+	weights := growf(ws.weights, delta)
+	ws.weights = weights
 	for i := range weights {
 		weights[i] = 1
 	}
-	weighted := linalg.NewMatrix(omega, delta)
-	col := make([]float64, omega)
-	proj := make([]float64, omega)
-	var basis *linalg.Matrix
+	ws.weighted.Reshape(omega, delta)
+	weighted := &ws.weighted
+	col := growf(ws.col, omega)
+	ws.col = col
+	proj := growf(ws.proj, omega)
+	ws.proj = proj
+	resids := growf(ws.resids, delta)
+	ws.resids = resids
+	newW := growf(ws.newW, delta)
+	ws.newW = newW
+	basis := &ws.basis
+	fitted := false
 
 	for it := 0; it < iters; it++ {
 		// Column-weighted copy of the trajectory matrix.
@@ -200,35 +281,34 @@ func (m *MRLS) robustSubspace(traj *linalg.Matrix) *linalg.Matrix {
 				weighted.Data[r*delta+c] = traj.Data[r*delta+c] * wc
 			}
 		}
-		svd := linalg.SVD(weighted)
+		svd := linalg.SVDWS(&ws.svd, weighted)
 		if svd.S[0] == 0 {
-			return nil
+			return false
 		}
-		basis = linalg.NewMatrix(omega, rank)
+		basis.Reshape(omega, rank)
 		for j := 0; j < rank; j++ {
 			for r := 0; r < omega; r++ {
 				basis.Data[r*rank+j] = svd.U.Data[r*svd.U.Cols+j]
 			}
 		}
+		fitted = true
 		// Reweight columns by inverse residual (l1 IRLS step). The
 		// residuals are floored at a fraction of their median so that a
 		// column lying exactly in the subspace cannot grab unbounded
 		// weight and collapse the fit onto itself.
-		resids := make([]float64, delta)
 		for c := 0; c < delta; c++ {
 			for r := 0; r < omega; r++ {
 				col[r] = traj.At(r, c)
 			}
 			copy(proj, col)
 			for j := 0; j < rank; j++ {
-				bj := basis.Col(j)
-				linalg.Axpy(-linalg.Dot(bj, col), bj, proj)
+				mcolAxpy(-mcolDot(basis, j, col), basis, j, proj)
 			}
 			resids[c] = linalg.Norm2(proj)
 		}
-		floor := math.Max(eps, 0.1*stats.Median(resids))
+		ws.scratch = growf(ws.scratch, delta)
+		floor := math.Max(eps, 0.1*stats.MedianInto(resids, ws.scratch))
 		var drift float64
-		newW := make([]float64, delta)
 		for c := 0; c < delta; c++ {
 			newW[c] = 1 / math.Max(resids[c], floor)
 		}
@@ -246,19 +326,21 @@ func (m *MRLS) robustSubspace(traj *linalg.Matrix) *linalg.Matrix {
 			break
 		}
 	}
-	return basis
+	return fitted
 }
 
-// downsample averages consecutive groups of factor samples; a trailing
-// partial group is averaged too.
-func downsample(x []float64, factor int) []float64 {
+// downsampleInto averages consecutive groups of factor samples into the
+// workspace's downsampling buffer; a trailing partial group is averaged
+// too.
+func downsampleInto(ws *mrlsWorkspace, x []float64, factor int) []float64 {
 	if factor <= 1 {
-		out := make([]float64, len(x))
-		copy(out, x)
-		return out
+		ws.ds = growf(ws.ds, len(x))
+		copy(ws.ds, x)
+		return ws.ds
 	}
 	n := (len(x) + factor - 1) / factor
-	out := make([]float64, 0, n)
+	ws.ds = growf(ws.ds, n)
+	out := ws.ds[:0]
 	for i := 0; i < len(x); i += factor {
 		j := i + factor
 		if j > len(x) {

@@ -1,0 +1,9 @@
+//go:build race
+
+package baselines
+
+// raceEnabled reports that this binary was built with -race. Under the
+// race detector sync.Pool deliberately drops a fraction of Puts, so
+// pooled-workspace allocation guarantees cannot hold; the allocation
+// tests skip themselves.
+const raceEnabled = true

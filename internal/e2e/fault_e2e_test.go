@@ -8,6 +8,7 @@ package e2e
 import (
 	"math/rand"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -339,4 +340,51 @@ func TestFaultE2EAcceptFailures(t *testing.T) {
 	}
 	s, _ := store.Series(key("srv-0"))
 	t.Fatalf("ingest did not survive accept failures: got %v", s)
+}
+
+// TestFaultE2EParallelAssessIdentical pins the per-KPI fan-out to the
+// serial path on real ingested data: assessing the clean-run store with
+// one worker and with many must produce deeply identical reports —
+// same assessment order, verdicts, DiD estimates and change bin. Traces
+// are disabled because their nanosecond timings are wall-clock.
+func TestFaultE2EParallelAssessIdentical(t *testing.T) {
+	store, _ := runIngest(t, func(_, ingest string) string { return ingest }, nil, nil)
+	tp := topo.NewTopology()
+	for _, srv := range servers {
+		tp.Deploy("kv.cache", srv)
+	}
+	run := func(workers int) *funnel.Report {
+		a, err := funnel.NewAssessor(store, tp, funnel.Config{
+			ServerMetrics: []string{"mem.util"},
+			WindowBins:    40,
+			AssessWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.Assess(changelog.Change{
+			ID: "chg-e2e", Type: changelog.Upgrade, Service: "kv.cache",
+			Servers: []string{"srv-0", "srv-1"},
+			At:      epoch.Add(changeBin * time.Minute),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	want := run(1)
+	for _, workers := range []int{0, 8} {
+		if got := run(workers); !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: parallel e2e report differs from serial", workers)
+		}
+	}
+	for _, srv := range servers {
+		wantV := funnel.NoChange
+		if treated[srv] {
+			wantV = funnel.ChangedBySoftware
+		}
+		if got := verdicts(want)[srv]; got != wantV {
+			t.Fatalf("%s = %v, want %v", srv, got, wantV)
+		}
+	}
 }

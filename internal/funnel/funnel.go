@@ -10,6 +10,10 @@ package funnel
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/changelog"
@@ -91,6 +95,14 @@ type Config struct {
 	// assessor waits for a stalled probe series once the rest of the
 	// store has reached the ready bin.
 	StaleBins int
+	// AssessWorkers bounds how many KPIs of one impact set are assessed
+	// concurrently inside a single Assess call. Zero means GOMAXPROCS;
+	// 1 forces the serial path. Reports are deterministic regardless of
+	// the setting: assessments keep impact-set order, and per-KPI traces
+	// are merged after all workers finish. Batch drivers that already
+	// parallelize across changes (AssessAll) may want 1 here to avoid
+	// oversubscription.
+	AssessWorkers int
 	// SkipDetection disables the SST stage and treats every KPI as
 	// changed, leaving the decision entirely to DiD. Used by ablation
 	// benches.
@@ -306,7 +318,24 @@ func NewAssessor(source SeriesSource, tp *topo.Topology, cfg Config) (*Assessor,
 	if err := cfg.SST.Validate(); err != nil {
 		return nil, err
 	}
-	scorer := InstrumentScorer(sst.NewIKA(cfg.SST), cfg.Obs)
+	// The deployed scorer is IKA; without per-window instrumentation it
+	// is wrapped in the incremental sliding sweep, which maintains the
+	// Hankel Gram operators across consecutive window positions instead
+	// of rebuilding them, and warm-starts each position's Lanczos solves
+	// from the previous position's dominant Ritz vector with a reduced
+	// Krylov dimension — scores agree with the per-window path to
+	// detector precision, which is all the threshold-crossing verdict
+	// reads. With a collector configured, the per-window path is kept so
+	// every window's latency lands in the StageSSTWindow histogram
+	// individually.
+	var scorer sst.Scorer
+	if cfg.Obs != nil {
+		scorer = InstrumentScorer(sst.NewIKA(cfg.SST), cfg.Obs)
+	} else {
+		sl := sst.NewSliding(sst.NewIKA(cfg.SST))
+		sl.WarmStart = true
+		scorer = sl
+	}
 	det := detect.New(scorer, cfg.DetectorThreshold)
 	det.Persistence = cfg.Persistence
 	// §4.1's rule requires 7 minutes of change evidence, not 7
@@ -387,9 +416,68 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 	if a.obs != nil {
 		tr = &obs.Trace{ChangeID: change.ID, Service: change.Service, At: change.At}
 	}
-	for _, key := range keys {
-		assessment := a.assessKPI(change, set, key, &report.ChangeBin, tr)
-		report.Assessments = append(report.Assessments, assessment)
+
+	// Fan the impact set over a bounded worker pool. Every per-KPI
+	// result lands in its key's slot, so the report is byte-identical to
+	// the serial order no matter how the workers interleave; control
+	// averages are memoized per assessment so concurrent KPIs sharing a
+	// control group compute it once.
+	n := len(keys)
+	cache := &avgCache{}
+	assessments := make([]Assessment, n)
+	bins := make([]int, n)
+	var kts []*obs.KPITrace
+	if tr != nil {
+		kts = make([]*obs.KPITrace, n)
+	}
+	run := func(i int) {
+		var kt *obs.KPITrace
+		if tr != nil {
+			kt = &obs.KPITrace{Key: keys[i].String()}
+			kts[i] = kt
+		}
+		assessments[i], bins[i] = a.assessKPI(change, set, keys[i], kt, cache)
+	}
+	workers := a.cfg.AssessWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range keys {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	report.Assessments = assessments
+	// Merge post-barrier in impact-set order: the change bin replicates
+	// the serial loop's last-valid-write, and the trace gains KPIs in
+	// the same order the serial path appended them.
+	for i := range keys {
+		if bins[i] >= 0 {
+			report.ChangeBin = bins[i]
+		}
+		if tr != nil {
+			tr.Add(kts[i])
+		}
 	}
 	if tr != nil {
 		tr.Nanos = int64(time.Since(t0))
@@ -403,15 +491,17 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 	return report, nil
 }
 
-// assessKPI runs detection and determination for one KPI.
-// changeBinOut receives the change's bin index in the series timeline
-// (same for all KPIs of a change; stored once on the report). tr, when
-// non-nil, receives this KPI's stage trace.
-func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, changeBinOut *int, tr *obs.Trace) Assessment {
-	out := Assessment{Key: key}
-	var kt *obs.KPITrace
-	if tr != nil {
-		kt = &obs.KPITrace{Key: key.String()}
+// assessKPI runs detection and determination for one KPI. bin is the
+// change's bin index in the KPI's series timeline, or -1 when no series
+// resolved (the same bin for every KPI of a change; the caller stores
+// the last valid one on the report). kt, when non-nil, accumulates this
+// KPI's stage trace; the caller attaches it to the change trace after
+// all workers finish. cache memoizes group averages across the KPIs of
+// one assessment.
+func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, kt *obs.KPITrace, cache *avgCache) (out Assessment, bin int) {
+	out = Assessment{Key: key}
+	bin = -1
+	if kt != nil {
 		defer func() {
 			kt.Verdict = out.Verdict.String()
 			kt.GapFraction = out.GapFraction
@@ -425,7 +515,6 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 			if out.Err != nil {
 				kt.Err = out.Err.Error()
 			}
-			tr.Add(kt)
 		}()
 	}
 	series, ok := a.source.Series(key)
@@ -433,13 +522,13 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		// The paper's centralized database stores service KPIs as
 		// aggregations of instance KPIs (§2.2); when the source lacks
 		// the aggregate, compute it from the service's instances.
-		if agg, err := a.groupAverage(a.topo.InstancesOf(key.Entity), key.Metric); err == nil {
+		if agg, err := a.groupAverage(cache, a.topo.InstancesOf(key.Entity), key.Metric); err == nil {
 			series, ok = agg, true
 		}
 	}
 	if !ok {
 		out.Err = fmt.Errorf("funnel: no series for %v", key)
-		return out
+		return out, bin
 	}
 	if key.Scope == topo.ScopeService && key.Entity == set.ChangedService && set.Dark() {
 		// §3.2.4: for the changed service's aggregate, "determining the
@@ -447,7 +536,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		// Dark Launching the aggregate dilutes the effect by the
 		// untreated instances, so both detection and determination run
 		// on the tinstance average instead.
-		if treated, err := a.groupAverage(set.TInstances, key.Metric); err == nil {
+		if treated, err := a.groupAverage(cache, set.TInstances, key.Metric); err == nil {
 			series = treated
 		}
 	}
@@ -462,9 +551,9 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 	changeBin := int(change.At.Sub(series.Start) / series.Step)
 	if changeBin < 0 {
 		out.Err = fmt.Errorf("funnel: change time outside series for %v", key)
-		return out
+		return out, bin
 	}
-	*changeBinOut = changeBin
+	bin = changeBin
 
 	// Feed-health gate: a window with too many missing bins, or one
 	// whose feed went stale mid-window, cannot support a verdict in
@@ -476,7 +565,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		out.Err = fmt.Errorf("funnel: feed for %v too gappy to assess: %.0f%% of the ±%d-bin window missing (stale tail %d bins)",
 			key, gapFrac*100, a.cfg.WindowBins, staleTail)
 		a.obs.Add(obs.CtrInconclusive, 1)
-		return out
+		return out, bin
 	}
 	if series.HasGaps() {
 		series = series.Clone().FillGaps()
@@ -492,16 +581,16 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		}
 	}
 	if !found {
-		return out // step 3: no performance change
+		return out, bin // step 3: no performance change
 	}
 	out.Detection = detection
 	if a.cfg.SkipDiD {
 		out.Verdict = ChangedBySoftware
-		return out
+		return out, bin
 	}
 
 	// Steps 4–11: determine the cause.
-	det, err := a.determine(change, set, key, series, changeBin, kt)
+	det, err := a.determine(change, set, key, series, changeBin, kt, cache)
 	out.Alpha = det.res.Alpha
 	out.TStat = det.res.TStat
 	out.ControlKind = det.kind
@@ -512,14 +601,14 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		// inspection, flagged as software-caused (conservative).
 		out.Err = err
 		out.Verdict = ChangedBySoftware
-		return out
+		return out, bin
 	}
 	if det.causal {
 		out.Verdict = ChangedBySoftware
 	} else {
 		out.Verdict = ChangedByOther
 	}
-	return out
+	return out, bin
 }
 
 // detectAround runs the detector on the ±WindowBins assessment window
@@ -623,7 +712,7 @@ type determination struct {
 // determine applies the Fig. 3 decision tree for cause determination.
 // Control-group selection and DiD estimation are timed as separate
 // stages.
-func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int, kt *obs.KPITrace) (determination, error) {
+func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int, kt *obs.KPITrace, cache *avgCache) (determination, error) {
 	w := a.cfg.DiDWindow
 	if changeBin-w < 0 || changeBin+w > series.Len() {
 		return determination{}, fmt.Errorf("funnel: DiD periods out of range for %v", key)
@@ -646,7 +735,7 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 	if set.Dark() && len(controls) > 0 {
 		// Steps 8–10: concurrent control group.
 		out := determination{kind: ControlConcurrent}
-		control, cerr := a.controlAverage(controls)
+		control, cerr := a.controlAverage(cache, controls)
 		if cerr != nil {
 			a.stamp(kt, obs.StageDiDControl, tc)
 			return determination{}, cerr
@@ -736,18 +825,53 @@ func (a *Assessor) causal(res did.Result, service string) bool {
 	return res.Causal(thr) && res.Significant(a.cfg.MinTStat)
 }
 
+// avgCache memoizes group averages for the lifetime of one Assess call:
+// every treated server KPI of a metric shares its control group, so in
+// both the serial and the fanned-out path only the first KPI to ask
+// pays the align-and-average; the rest (and any concurrent askers,
+// via the per-entry once) share the result. Entries are read-only after
+// creation — every downstream consumer clones before mutating.
+type avgCache struct {
+	m sync.Map // joined key string → *avgEntry
+}
+
+// avgEntry is one memoized average; once guards the single computation.
+type avgEntry struct {
+	once sync.Once
+	s    *timeseries.Series
+	err  error
+}
+
 // groupAverage averages one metric across a set of instances.
-func (a *Assessor) groupAverage(instances []string, metric string) (*timeseries.Series, error) {
+func (a *Assessor) groupAverage(cache *avgCache, instances []string, metric string) (*timeseries.Series, error) {
 	keys := make([]topo.KPIKey, 0, len(instances))
 	for _, in := range instances {
 		keys = append(keys, topo.KPIKey{Scope: topo.ScopeInstance, Entity: in, Metric: metric})
 	}
-	return a.controlAverage(keys)
+	return a.controlAverage(cache, keys)
 }
 
 // controlAverage pulls and averages the control-group series (§3.2.4
-// uses the average of all control KPIs so hotspots wash out).
-func (a *Assessor) controlAverage(keys []topo.KPIKey) (*timeseries.Series, error) {
+// uses the average of all control KPIs so hotspots wash out), memoizing
+// per assessment when a cache is supplied.
+func (a *Assessor) controlAverage(cache *avgCache, keys []topo.KPIKey) (*timeseries.Series, error) {
+	if cache == nil {
+		return a.averageSeries(keys)
+	}
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k.String())
+		sb.WriteByte(0)
+	}
+	e, _ := cache.m.LoadOrStore(sb.String(), &avgEntry{})
+	entry := e.(*avgEntry)
+	entry.once.Do(func() { entry.s, entry.err = a.averageSeries(keys) })
+	return entry.s, entry.err
+}
+
+// averageSeries is the uncached align-and-average over whichever of the
+// keys resolve to series.
+func (a *Assessor) averageSeries(keys []topo.KPIKey) (*timeseries.Series, error) {
 	var series []*timeseries.Series
 	for _, k := range keys {
 		s, ok := a.source.Series(k)

@@ -4,11 +4,147 @@ import (
 	"errors"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/changelog"
+	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
+
+// TestAssessWorkersMatchSerial is the tentpole determinism guarantee:
+// fanning one impact set over a worker pool must produce a report
+// deeply identical to the serial path — same assessment order, same
+// verdicts, estimates and errors, same change bin.
+func TestAssessWorkersMatchSerial(t *testing.T) {
+	sc := smallScenario(t, 2)
+	serial := newAssessor(t, sc, func(c *Config) { c.AssessWorkers = 1 })
+	for _, workers := range []int{0, 2, 8} {
+		par := newAssessor(t, sc, func(c *Config) { c.AssessWorkers = workers })
+		for i, cs := range sc.Cases {
+			want, err := serial.Assess(cs.Change)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.Assess(cs.Change)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d case %d: parallel report differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// With a collector configured, the merged trace must list KPIs in
+// impact-set order — exactly the order the serial path appends them —
+// and carry the same verdict evidence.
+func TestAssessWorkersTraceOrderDeterministic(t *testing.T) {
+	sc := smallScenario(t, 2)
+	mk := func(workers int) (*Assessor, *obs.Collector) {
+		col := obs.NewCollector()
+		a := newAssessor(t, sc, func(c *Config) {
+			c.AssessWorkers = workers
+			c.Obs = col
+		})
+		return a, col
+	}
+	serial, _ := mk(1)
+	par, _ := mk(8)
+	for i, cs := range sc.Cases {
+		want, err := serial.Assess(cs.Change)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Assess(cs.Change)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Trace == nil || got.Trace == nil {
+			t.Fatal("collector configured but no trace attached")
+		}
+		if len(want.Trace.KPIs) != len(got.Trace.KPIs) {
+			t.Fatalf("case %d: trace sizes differ", i)
+		}
+		for j := range want.Trace.KPIs {
+			w, g := want.Trace.KPIs[j], got.Trace.KPIs[j]
+			if w.Key != g.Key || w.Verdict != g.Verdict || w.Err != g.Err {
+				t.Fatalf("case %d trace[%d]: %s/%s/%q vs %s/%s/%q",
+					i, j, w.Key, w.Verdict, w.Err, g.Key, g.Verdict, g.Err)
+			}
+		}
+	}
+}
+
+// The race-coverage satellite: many goroutines assess the same
+// overlapping impact sets through one shared assessor while a detect
+// fleet churns under concurrent pushes. Run under -race this exercises
+// the pooled SST workspaces, the memoized control averages and the
+// fleet's per-key locking; every concurrent report must still equal the
+// serial reference.
+func TestAssessConcurrentWithFleetChurn(t *testing.T) {
+	sc := smallScenario(t, 2)
+	serial := newAssessor(t, sc, func(c *Config) { c.AssessWorkers = 1 })
+	shared := newAssessor(t, sc, func(c *Config) { c.AssessWorkers = 4 })
+	want := make([]*Report, len(sc.Cases))
+	for i, cs := range sc.Cases {
+		rep, err := serial.Assess(cs.Change)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		fleet := detect.NewFleet(nil)
+		keys := sc.Source.Keys()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := keys[i%len(keys)]
+			fleet.Push(key, float64(i%17))
+			if i%257 == 256 {
+				fleet.Drop(key)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, cs := range sc.Cases {
+				got, err := shared.Assess(cs.Change)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(want[i], got) {
+					errs <- errors.New("concurrent report differs from serial reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
 
 func TestAssessAllMatchesSequential(t *testing.T) {
 	sc := smallScenario(t, 4)

@@ -21,6 +21,9 @@ type EigWorkspace struct {
 	dd, ee, vals []float64
 	idx          []int
 	z, vecs      Matrix
+	row, rowOut  []float64 // first-row accumulators for TridiagEigFirstRowWS
+	symA, symV   Matrix    // SymEigWS: tred2 working copy (becomes Q) and Q·tvecs
+	symD, symE   []float64 // SymEigWS: tridiagonal form of the input
 }
 
 // ensure sizes the buffers for order n.
@@ -174,37 +177,172 @@ func TridiagEigWS(ws *EigWorkspace, d, e []float64) (vals []float64, vecs *Matri
 	return vals, vecs, nil
 }
 
+// TridiagEigFirstRowWS computes the eigenvalues of the symmetric
+// tridiagonal matrix (diagonal d, subdiagonal e) together with only the
+// FIRST component of every eigenvector, in descending eigenvalue order.
+//
+// It runs the exact same QL rotations as TridiagEigWS but accumulates
+// them into a single row of the eigenvector matrix instead of all n —
+// each rotation costs O(1) instead of O(n). The returned first-row
+// components are bit-identical to row 0 of TridiagEigWS's eigenvector
+// matrix (same rotations, same arithmetic, same stable ordering).
+//
+// This is the eigensolve shape of IKA's Eq. 13 discordance stage, which
+// consumes only x_j(1)² — the squared cosines between the Krylov start
+// vector and the Ritz directions — and is the hottest loop of the whole
+// pipeline (three of the four eigensolves per scored window).
+//
+// The returned slices alias ws-owned memory and are invalidated by the
+// next call with the same workspace. d and e are not modified.
+func TridiagEigFirstRowWS(ws *EigWorkspace, d, e []float64) (vals, first []float64, err error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if len(e) != n-1 && !(n == 1 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("linalg: subdiagonal length %d for order %d", len(e), n)
+	}
+	ws.ensure(n)
+	if cap(ws.row) < n {
+		ws.row = make([]float64, n)
+		ws.rowOut = make([]float64, n)
+	}
+	ws.row, ws.rowOut = ws.row[:n], ws.rowOut[:n]
+	dd := ws.dd
+	copy(dd, d)
+	ee := ws.ee
+	copy(ee, e)
+	ee[n-1] = 0
+
+	// Row 0 of the identity: the rotations below act on it exactly as
+	// they act on row 0 of the full accumulator in TridiagEigWS.
+	row := ws.row
+	for i := range row {
+		row[i] = 0
+	}
+	row[0] = 1
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter == tqliMaxIter {
+				return nil, nil, fmt.Errorf("linalg: QL iteration failed to converge at index %d", l)
+			}
+			var m int
+			for m = l; m < n-1; m++ {
+				ddm := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-300 || math.Abs(ee[m])+ddm == ddm {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into row 0 only.
+				f2 := row[i+1]
+				row[i+1] = s*row[i] + c*f2
+				row[i] = c*row[i] - s*f2
+			}
+			if underflow {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	idx := ws.idx
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && dd[idx[j]] > dd[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals = ws.vals
+	first = ws.rowOut
+	for dst, src := range idx {
+		vals[dst] = dd[src]
+		first[dst] = row[src]
+	}
+	return vals, first, nil
+}
+
 // SymEig computes all eigenvalues and eigenvectors of the symmetric
 // matrix a via Householder tridiagonalization followed by TridiagEig.
 // Eigenvalues are returned in descending order; column j of the returned
 // matrix is the eigenvector for eigenvalue j. Only the lower triangle of
 // a is read.
 func SymEig(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	var ws EigWorkspace
+	return SymEigWS(&ws, a)
+}
+
+// SymEigWS is SymEig with every buffer drawn from ws, performing no
+// allocation once the workspace has warmed up. It runs the identical
+// reduction, QL iteration and back-transform, so results are
+// bit-identical to the allocating path. The returned slice and matrix
+// alias ws-owned memory; they are invalidated by the next call with the
+// same workspace. a is not modified.
+func SymEigWS(ws *EigWorkspace, a *Matrix) (vals []float64, vecs *Matrix, err error) {
 	if a.Rows != a.Cols {
 		return nil, nil, fmt.Errorf("linalg: SymEig requires square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	if n == 0 {
-		return nil, NewMatrix(0, 0), nil
+		ws.symV.Reshape(0, 0)
+		return nil, &ws.symV, nil
 	}
-	d, e, q := tred2(a.Clone())
-	vals, tvecs, err := TridiagEig(d, e)
+	ws.symA.Reshape(n, n)
+	copy(ws.symA.Data, a.Data)
+	if cap(ws.symD) < n {
+		ws.symD = make([]float64, n)
+		ws.symE = make([]float64, n)
+	}
+	ws.symD, ws.symE = ws.symD[:n], ws.symE[:n]
+	e := tred2(&ws.symA, ws.symD, ws.symE)
+	vals, tvecs, err := TridiagEigWS(ws, ws.symD, e)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Back-transform the tridiagonal eigenvectors: columns of Q·tvecs.
-	vecs = q.Mul(tvecs)
-	return vals, vecs, nil
+	// Back-transform the tridiagonal eigenvectors: columns of Q·tvecs
+	// (tred2 left Q in symA).
+	MulInto(&ws.symV, &ws.symA, tvecs)
+	return vals, &ws.symV, nil
 }
 
-// tred2 reduces the symmetric matrix a (destroyed) to tridiagonal form
-// with Householder reflections, returning the diagonal d, the
-// subdiagonal e (length n−1) and the accumulated orthogonal
-// transformation Q such that a = Q·T·Qᵀ.
-func tred2(a *Matrix) (d, e []float64, q *Matrix) {
+// tred2 reduces the symmetric matrix a (destroyed: it becomes the
+// accumulated orthogonal transformation Q with a = Q·T·Qᵀ) to
+// tridiagonal form with Householder reflections. The diagonal is written
+// into d and the subdiagonal into eFull (both length n, eFull[0]
+// scratch); the returned subdiagonal view e aliases eFull[1:].
+func tred2(a *Matrix, d, eFull []float64) (e []float64) {
 	n := a.Rows
-	d = make([]float64, n)
-	eFull := make([]float64, n)
 
 	for i := n - 1; i >= 1; i-- {
 		l := i - 1
@@ -281,9 +419,5 @@ func tred2(a *Matrix) (d, e []float64, q *Matrix) {
 		}
 	}
 
-	e = make([]float64, n-1)
-	for i := 1; i < n; i++ {
-		e[i-1] = eFull[i]
-	}
-	return d, e, a
+	return eFull[1:n]
 }

@@ -1,0 +1,250 @@
+package linalg
+
+import (
+	"testing"
+)
+
+// The first-row eigensolver must agree with the full solve bit for bit:
+// same eigenvalues, and first[j] equal to row 0 of the eigenvector
+// matrix, including on tied eigenvalues where only a stable order keeps
+// the two aligned.
+func TestTridiagEigFirstRowMatchesFull(t *testing.T) {
+	cases := []struct {
+		name string
+		d, e []float64
+	}{
+		{"order-1", []float64{3}, nil},
+		{"plain", []float64{4, 3, 7, 1, 5}, []float64{1, 0.5, 2, 0.25}},
+		{"ties", []float64{2, 2, 2}, []float64{0, 0}},
+		{"random-8", randSeries(8, 80), randSeries(7, 81)},
+		{"lanczos-like", []float64{9, 5, 2, 0.5, 0.1}, []float64{3, 1, 0.3, 0.01}},
+	}
+	var full, fr EigWorkspace
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wantVals, wantVecs, err := TridiagEigWS(&full, c.d, c.e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals, first, err := TridiagEigFirstRowWS(&fr, c.d, c.e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range wantVals {
+				if vals[j] != wantVals[j] {
+					t.Fatalf("val[%d] = %v, want %v", j, vals[j], wantVals[j])
+				}
+				if first[j] != wantVecs.At(0, j) {
+					t.Fatalf("first[%d] = %v, want %v", j, first[j], wantVecs.At(0, j))
+				}
+			}
+		})
+	}
+}
+
+func TestTridiagEigFirstRowEmptyAndMismatch(t *testing.T) {
+	var ws EigWorkspace
+	vals, first, err := TridiagEigFirstRowWS(&ws, nil, nil)
+	if err != nil || vals != nil || first != nil {
+		t.Fatalf("empty input: vals=%v first=%v err=%v", vals, first, err)
+	}
+	if _, _, err := TridiagEigFirstRowWS(&ws, []float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Fatal("mismatched subdiagonal should error")
+	}
+}
+
+func TestTridiagEigFirstRowZeroAlloc(t *testing.T) {
+	d := randSeries(5, 82)
+	e := randSeries(4, 83)
+	var ws EigWorkspace
+	if _, _, err := TridiagEigFirstRowWS(&ws, d, e); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := TridiagEigFirstRowWS(&ws, d, e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+// MulInto must reproduce Mul bit for bit, including the zero-skip path.
+func TestMulIntoMatchesMul(t *testing.T) {
+	a := &Matrix{Rows: 4, Cols: 6, Data: randSeries(24, 84)}
+	b := &Matrix{Rows: 6, Cols: 3, Data: randSeries(18, 85)}
+	a.Data[1] = 0 // exercise the skip
+	a.Data[13] = 0
+	want := a.Mul(b)
+	var dst Matrix
+	MulInto(&dst, a, b)
+	if !dst.Equalish(want, 0) {
+		t.Fatal("MulInto differs from Mul")
+	}
+	// Reuse with a different, larger shape.
+	a2 := &Matrix{Rows: 7, Cols: 2, Data: randSeries(14, 86)}
+	b2 := &Matrix{Rows: 2, Cols: 7, Data: randSeries(14, 87)}
+	MulInto(&dst, a2, b2)
+	if !dst.Equalish(a2.Mul(b2), 0) {
+		t.Fatal("reused MulInto differs from Mul")
+	}
+}
+
+// GramSelfInto must reproduce a.Mul(a.T()) bit for bit.
+func TestGramSelfIntoMatchesMulT(t *testing.T) {
+	a := &Matrix{Rows: 5, Cols: 9, Data: randSeries(45, 88)}
+	a.Data[7] = 0
+	want := a.Mul(a.T())
+	var dst Matrix
+	GramSelfInto(&dst, a)
+	if !dst.Equalish(want, 0) {
+		t.Fatal("GramSelfInto differs from Mul(T())")
+	}
+}
+
+// HankelInto must reproduce Hankel bit for bit and reuse its buffer.
+func TestHankelIntoMatchesHankel(t *testing.T) {
+	x := randSeries(64, 89)
+	var m Matrix
+	for _, c := range []struct{ end, omega, delta int }{{34, 9, 9}, {20, 5, 7}, {64, 11, 3}} {
+		want := Hankel(x, c.end, c.omega, c.delta)
+		HankelInto(&m, x, c.end, c.omega, c.delta)
+		if !m.Equalish(want, 0) {
+			t.Fatalf("case %+v: HankelInto differs from Hankel", c)
+		}
+	}
+	data := &m.Data[0]
+	HankelInto(&m, x, 30, 5, 7)
+	if data != &m.Data[0] {
+		t.Fatal("HankelInto reallocated a sufficient buffer")
+	}
+}
+
+// SVDWS shares svdTall with SVD, so the results must be identical; this
+// guards the two entry points against future divergence, including the
+// wide-matrix transpose path and workspace reuse across shapes.
+func TestSVDWSMatchesSVD(t *testing.T) {
+	var ws SVDWorkspace
+	shapes := []struct{ m, n int }{{9, 5}, {5, 9}, {6, 6}, {9, 5}, {3, 1}}
+	for i, sh := range shapes {
+		a := &Matrix{Rows: sh.m, Cols: sh.n, Data: randSeries(sh.m*sh.n, int64(90+i))}
+		want := SVD(a)
+		got := SVDWS(&ws, a)
+		if len(got.S) != len(want.S) {
+			t.Fatalf("shape %+v: rank %d, want %d", sh, len(got.S), len(want.S))
+		}
+		for j := range want.S {
+			if got.S[j] != want.S[j] {
+				t.Fatalf("shape %+v: s[%d] = %v, want %v", sh, j, got.S[j], want.S[j])
+			}
+		}
+		if !got.U.Equalish(want.U, 0) || !got.V.Equalish(want.V, 0) {
+			t.Fatalf("shape %+v: singular vectors differ", sh)
+		}
+		// Reconstruction sanity: A ≈ U·diag(S)·Vᵀ.
+		for r := 0; r < sh.m; r++ {
+			for c := 0; c < sh.n; c++ {
+				var acc float64
+				for k := range got.S {
+					acc += got.U.At(r, k) * got.S[k] * got.V.At(c, k)
+				}
+				closeRel(t, acc, a.At(r, c), 1e-10, "reconstruction")
+			}
+		}
+	}
+}
+
+func TestSVDWSZeroAlloc(t *testing.T) {
+	a := &Matrix{Rows: 9, Cols: 5, Data: randSeries(45, 95)}
+	var ws SVDWorkspace
+	SVDWS(&ws, a)
+	allocs := testing.AllocsPerRun(50, func() { SVDWS(&ws, a) })
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestTopLeftSingularVectorsWSMatches(t *testing.T) {
+	a := &Matrix{Rows: 9, Cols: 5, Data: randSeries(45, 96)}
+	want := TopLeftSingularVectors(a, 3)
+	var ws SVDWorkspace
+	var dst Matrix
+	TopLeftSingularVectorsWS(&ws, &dst, a, 3)
+	if !dst.Equalish(want, 0) {
+		t.Fatal("WS top singular vectors differ")
+	}
+	allocs := testing.AllocsPerRun(50, func() { TopLeftSingularVectorsWS(&ws, &dst, a, 3) })
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+// SymEigWS shares its reduction and QL iteration with SymEig; results
+// must match bit for bit and satisfy A·v = λ·v.
+func TestSymEigWSMatchesSymEig(t *testing.T) {
+	var ws EigWorkspace
+	for _, n := range []int{1, 4, 7, 4} {
+		b := &Matrix{Rows: n, Cols: n + 2, Data: randSeries(n*(n+2), int64(100+n))}
+		a := b.Mul(b.T()) // SPD
+		wantVals, wantVecs, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, vecs, err := SymEigWS(&ws, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wantVals {
+			if vals[j] != wantVals[j] {
+				t.Fatalf("n=%d: val[%d] = %v, want %v", n, j, vals[j], wantVals[j])
+			}
+		}
+		if !vecs.Equalish(wantVecs, 0) {
+			t.Fatalf("n=%d: eigenvectors differ", n)
+		}
+		// Residual check against the original matrix.
+		av := make([]float64, n)
+		for j := 0; j < n; j++ {
+			col := vecs.Col(j)
+			a.MulVecTo(av, col)
+			for i := 0; i < n; i++ {
+				closeRel(t, av[i], vals[j]*col[i], 1e-8, "SymEig residual")
+			}
+		}
+	}
+}
+
+func TestSymEigWSZeroAlloc(t *testing.T) {
+	b := &Matrix{Rows: 5, Cols: 8, Data: randSeries(40, 110)}
+	a := b.Mul(b.T())
+	var ws EigWorkspace
+	if _, _, err := SymEigWS(&ws, a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := SymEigWS(&ws, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestReshapeReusesCapacity(t *testing.T) {
+	var m Matrix
+	m.Reshape(4, 6)
+	if m.Rows != 4 || m.Cols != 6 || len(m.Data) != 24 {
+		t.Fatalf("Reshape gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	p := &m.Data[0]
+	m.Reshape(3, 5)
+	if &m.Data[0] != p {
+		t.Fatal("shrinking Reshape reallocated")
+	}
+	m.Reshape(10, 10)
+	if len(m.Data) != 100 {
+		t.Fatal("growing Reshape did not resize")
+	}
+}

@@ -164,6 +164,23 @@ func Hankel(x []float64, end, omega, delta int) *Matrix {
 	return m
 }
 
+// HankelInto is Hankel with the trajectory matrix written into m
+// (reshaped to ω×δ), so pooled callers build windows without
+// allocating. Values are bit-identical to Hankel's.
+func HankelInto(m *Matrix, x []float64, end, omega, delta int) {
+	lo := end - delta - omega + 1
+	if lo < 0 || end > len(x) {
+		panic(fmt.Sprintf("linalg: hankel out of range: end=%d omega=%d delta=%d len=%d", end, omega, delta, len(x)))
+	}
+	m.Reshape(omega, delta)
+	for c := 0; c < delta; c++ {
+		base := lo + c
+		for r := 0; r < omega; r++ {
+			m.Data[r*delta+c] = x[base+r]
+		}
+	}
+}
+
 // GramOp returns an implicit operator for C = B·Bᵀ, evaluated as
 // B·(Bᵀ·v) without ever forming the ω×ω Gram matrix. This is the
 // "implicit inner product calculation" of §3.2.3: Lanczos only ever

@@ -50,6 +50,25 @@ func FromRows(rows [][]float64) *Matrix {
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
+// Reshape sets m to r×c, reusing the backing array when capacity
+// allows. Element contents are unspecified afterwards; callers are
+// expected to overwrite every entry. Hot paths use it to recycle a
+// pooled matrix across windows without reallocating.
+func (m *Matrix) Reshape(r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", r, c))
+	}
+	if cap(m.Data) < r*c {
+		m.Data = make([]float64, r*c)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+}
+
+// Apply writes m·v into dst, making a square Matrix usable as a SymOp
+// for LanczosWS. The caller is responsible for m actually being
+// symmetric (Lanczos on a non-symmetric operator is undefined).
+func (m *Matrix) Apply(dst, v []float64) { m.MulVecTo(dst, v) }
+
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
@@ -91,6 +110,55 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		}
 	}
 	return out
+}
+
+// MulInto writes a·b into dst (reshaped to a.Rows×b.Cols), with the
+// same accumulation order and zero-skip term set as Mul, so results are
+// bit-identical to the allocating path. dst must not alias a or b.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Reshape(a.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		oi := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range bk {
+				oi[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// GramSelfInto writes a·aᵀ into dst (reshaped to a.Rows×a.Rows) without
+// materializing the transpose. The accumulation mirrors
+// a.Mul(a.T()) term for term — same k order, same zero skips — so the
+// result is bit-identical to the allocating path.
+func GramSelfInto(dst, a *Matrix) {
+	n := a.Rows
+	dst.Reshape(n, n)
+	for i := 0; i < n; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < n; j++ {
+			aj := a.Data[j*a.Cols : (j+1)*a.Cols]
+			var s float64
+			for k, aik := range ai {
+				if aik == 0 {
+					continue
+				}
+				s += aik * aj[k]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
 }
 
 // MulVec returns m·v as a new slice of length m.Rows.
@@ -226,16 +294,17 @@ func Axpy(a float64, x, y []float64) {
 }
 
 // hypot returns sqrt(a²+b²) without undue overflow (Numerical Recipes
-// pythag).
+// pythag). Kept below the compiler's inlining budget: the QL rotation
+// loops call it once per rotation and the call overhead is measurable
+// there.
 func hypot(a, b float64) float64 {
-	aa, ab := math.Abs(a), math.Abs(b)
-	if aa > ab {
-		r := ab / aa
-		return aa * math.Sqrt(1+r*r)
+	a, b = math.Abs(a), math.Abs(b)
+	if a < b {
+		a, b = b, a
 	}
-	if ab == 0 {
+	if a == 0 {
 		return 0
 	}
-	r := aa / ab
-	return ab * math.Sqrt(1+r*r)
+	r := b / a
+	return a * math.Sqrt(1+r*r)
 }

@@ -1,0 +1,198 @@
+package linalg
+
+import "fmt"
+
+// slideRefreshEvery is the default number of incremental slides between
+// full Gram rebuilds. Each slide applies a retire/add update whose
+// floating-point error is O(ε·‖x‖²); rebuilding every few dozen slides
+// keeps the accumulated drift orders of magnitude below the 1e-9
+// equivalence budget the sst sweep tests enforce, while amortizing the
+// O(ω²δ) rebuild down to O(ω²δ/64) per position.
+const slideRefreshEvery = 64
+
+// SlidingHankelGram maintains the dense Gram matrix G = H·Hᵀ (ω×ω) and
+// the row sums R = H·1 of the Hankel trajectory matrix
+// H = Hankel(x, end, ω, δ) as end advances one position at a time.
+//
+// Consecutive window positions share all but one lag vector, and the
+// entries of G along each diagonal are shifted copies of the same
+// sliding lag-product sequence: G[r][s] = S_{s−r}(lo+r) with
+// S_d(a) = Σ_c x[a+c]·x[a+c+d]. A slide therefore only has to shift the
+// matrix up-left by one and extend each diagonal by a single retire/add
+// update — O(ω) multiplications instead of the O(ω²·δ) rebuild — plus a
+// small contiguous copy for the shift. Every slideRefreshEvery slides
+// the matrix is rebuilt from scratch to wash out floating-point drift.
+//
+// The products of the centered samples y = x − c are maintained, where
+// the center c (0 after Init, moved by Recenter) should track the local
+// data level; GramInto and RowSumsInto apply the affine normalization
+// w = (x − med)·inv on the way out, using the identity
+//
+//	Ĝ[r][s] = inv²·(G[r][s] − m·(R[r]+R[s]) + δ·m²),  m = med − c,
+//
+// so a per-position robust normalization (whose med/scale change at
+// every position) never forces a rebuild. Centering matters for
+// accuracy, not correctness: with c = 0 a KPI whose level is far above
+// its spread makes the correction a difference of huge near-equal
+// sums, and the cancellation can cost every digit the normalized Gram
+// has. Keeping c within the spread of the data keeps all three terms
+// of the identity at the spread's scale.
+//
+// The zero value is ready for use after Init. Buffers are retained
+// across Init calls, so a pooled long-lived value performs no
+// steady-state allocations.
+type SlidingHankelGram struct {
+	x            []float64
+	end          int
+	omega, delta int
+	c            float64   // maintained sample offset (see Recenter)
+	gram         []float64 // ω×ω row-major centered Gram
+	rows         []float64 // ω centered row sums
+	newcol       []float64 // slide scratch, length ω
+	slides       int       // incremental slides since the last rebuild
+	// RefreshEvery overrides the rebuild cadence (0 = slideRefreshEvery,
+	// negative = never rebuild; used by drift tests and by callers that
+	// rebuild through Recenter on their own schedule).
+	RefreshEvery int
+}
+
+// Init points the operator at Hankel(x, end, omega, delta) and builds
+// the Gram and row sums from scratch.
+func (g *SlidingHankelGram) Init(x []float64, end, omega, delta int) {
+	lo := end - delta - omega + 1
+	if lo < 0 || end > len(x) {
+		panic(fmt.Sprintf("linalg: sliding hankel out of range: end=%d omega=%d delta=%d len=%d", end, omega, delta, len(x)))
+	}
+	g.x, g.end, g.omega, g.delta = x, end, omega, delta
+	g.c = 0
+	if cap(g.gram) < omega*omega {
+		g.gram = make([]float64, omega*omega)
+	}
+	g.gram = g.gram[:omega*omega]
+	if cap(g.rows) < omega {
+		g.rows = make([]float64, 2*omega)
+	}
+	g.rows = g.rows[:omega]
+	if cap(g.newcol) < omega {
+		g.newcol = make([]float64, omega)
+	}
+	g.newcol = g.newcol[:omega]
+	g.rebuild()
+}
+
+// End returns the current window end (the Hankel geometry's end).
+func (g *SlidingHankelGram) End() int { return g.end }
+
+// Recenter moves the maintained sample offset to c and rebuilds. Callers
+// tracking a drifting level (e.g. a per-position normalization median)
+// call it periodically so the centered products stay at the spread's
+// scale; pairing it with RefreshEvery < 0 makes Recenter the only
+// rebuild cadence.
+func (g *SlidingHankelGram) Recenter(c float64) {
+	g.c = c
+	g.rebuild()
+}
+
+// Dims returns the operator dimension ω.
+func (g *SlidingHankelGram) Dims() int { return g.omega }
+
+// rebuild recomputes the centered Gram and row sums from the series.
+// Subtracting a zero center is exact, so the uncentered results are
+// bit-identical to a direct computation on x.
+func (g *SlidingHankelGram) rebuild() {
+	x, n, cc := g.x, g.omega, g.c
+	lo := g.end - g.delta - n + 1
+	for r := 0; r < n; r++ {
+		baseR := lo + r
+		var rs float64
+		for c := 0; c < g.delta; c++ {
+			rs += x[baseR+c] - cc
+		}
+		g.rows[r] = rs
+		for s := r; s < n; s++ {
+			baseS := lo + s
+			var acc float64
+			for c := 0; c < g.delta; c++ {
+				acc += (x[baseR+c] - cc) * (x[baseS+c] - cc)
+			}
+			g.gram[r*n+s] = acc
+			g.gram[s*n+r] = acc
+		}
+	}
+	g.slides = 0
+}
+
+// Slide advances the window end by one position. It panics when the
+// series has no sample at the new end.
+func (g *SlidingHankelGram) Slide() {
+	if g.end >= len(g.x) {
+		panic(fmt.Sprintf("linalg: sliding hankel slide past series end %d", g.end))
+	}
+	g.end++
+	every := g.RefreshEvery
+	if every == 0 {
+		every = slideRefreshEvery
+	}
+	if every > 0 && g.slides+1 >= every {
+		g.rebuild()
+		return
+	}
+	g.slides++
+
+	x, n, cc := g.x, g.omega, g.c
+	lo := g.end - 1 - g.delta - n + 1 // lo of the *previous* position
+	// Extend each diagonal by one lag product: the new last-column entry
+	// of row r retires y[lo+r]·y[lo+ω−1] and admits the product one δ
+	// later. Read the old last column before the shift overwrites it.
+	xr1 := x[lo+n-1] - cc
+	xr2 := x[lo+n-1+g.delta] - cc
+	for r := 0; r < n; r++ {
+		g.newcol[r] = g.gram[r*n+n-1] - (x[lo+r]-cc)*xr1 + (x[lo+r+g.delta]-cc)*xr2
+	}
+	// Shift the interior up-left: G'[r][s] = G[r+1][s+1].
+	for r := 0; r < n-1; r++ {
+		copy(g.gram[r*n:r*n+n-1], g.gram[(r+1)*n+1:(r+2)*n])
+	}
+	// Install the new last column and (by symmetry) last row.
+	for r := 0; r < n; r++ {
+		g.gram[r*n+n-1] = g.newcol[r]
+		g.gram[(n-1)*n+r] = g.newcol[r]
+	}
+	// Row sums shift by one window start; only the last is new.
+	last := g.rows[n-1] - xr1 + xr2
+	copy(g.rows[:n-1], g.rows[1:n])
+	g.rows[n-1] = last
+}
+
+// GramInto writes the Gram matrix of the affinely transformed window
+// w = (x − med)·inv into dst (reshaped to ω×ω). med = 0, inv = 1 copies
+// the raw Gram.
+func (g *SlidingHankelGram) GramInto(dst *Matrix, med, inv float64) {
+	n := g.omega
+	dst.Reshape(n, n)
+	m := med - g.c
+	if m == 0 && inv == 1 {
+		copy(dst.Data, g.gram)
+		return
+	}
+	i2 := inv * inv
+	c2 := float64(g.delta) * m * m
+	for r := 0; r < n; r++ {
+		mr := g.rows[r]
+		for s := r; s < n; s++ {
+			v := (g.gram[r*n+s] - m*(mr+g.rows[s]) + c2) * i2
+			dst.Data[r*n+s] = v
+			dst.Data[s*n+r] = v
+		}
+	}
+}
+
+// RowSumsInto writes the row sums of the affinely transformed window
+// into dst (length ω): (R[r] − δ·med)·inv. This is the H·1 Krylov start
+// vector IKA uses, without materializing H or the normalized window.
+func (g *SlidingHankelGram) RowSumsInto(dst []float64, med, inv float64) {
+	dm := float64(g.delta) * (med - g.c)
+	for r := 0; r < g.omega; r++ {
+		dst[r] = (g.rows[r] - dm) * inv
+	}
+}

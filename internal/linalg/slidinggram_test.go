@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// refGramRows computes the raw Hankel Gram and row sums directly, with
+// the same c-order accumulation as SlidingHankelGram.rebuild, so a
+// freshly built operator must match it bit for bit.
+func refGramRows(x []float64, end, omega, delta int) (gram, rows []float64) {
+	lo := end - delta - omega + 1
+	gram = make([]float64, omega*omega)
+	rows = make([]float64, omega)
+	for r := 0; r < omega; r++ {
+		var rs float64
+		for c := 0; c < delta; c++ {
+			rs += x[lo+r+c]
+		}
+		rows[r] = rs
+		for s := 0; s < omega; s++ {
+			var acc float64
+			for c := 0; c < delta; c++ {
+				acc += x[lo+r+c] * x[lo+s+c]
+			}
+			gram[r*omega+s] = acc
+		}
+	}
+	return gram, rows
+}
+
+func TestSlidingGramInitMatchesDirect(t *testing.T) {
+	x := randSeries(200, 70)
+	cases := []struct{ end, omega, delta int }{
+		{20, 9, 9},
+		{40, 5, 9},
+		{60, 9, 5},
+		{17, 9, 9}, // lo == 0 edge
+		{3, 1, 3},
+		{200, 15, 15},
+	}
+	var g SlidingHankelGram
+	var dst Matrix
+	for _, c := range cases {
+		g.Init(x, c.end, c.omega, c.delta)
+		if g.End() != c.end || g.Dims() != c.omega {
+			t.Fatalf("case %+v: End=%d Dims=%d", c, g.End(), g.Dims())
+		}
+		wantG, wantR := refGramRows(x, c.end, c.omega, c.delta)
+		g.GramInto(&dst, 0, 1)
+		for i, v := range dst.Data {
+			if v != wantG[i] {
+				t.Fatalf("case %+v: gram[%d] = %v, want %v", c, i, v, wantG[i])
+			}
+		}
+		rows := make([]float64, c.omega)
+		g.RowSumsInto(rows, 0, 1)
+		for i, v := range rows {
+			if v != wantR[i] {
+				t.Fatalf("case %+v: rows[%d] = %v, want %v", c, i, v, wantR[i])
+			}
+		}
+	}
+}
+
+// closeRel fails unless |got−want| ≤ tol·max(1, |want|).
+func closeRel(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	lim := tol * math.Max(1, math.Abs(want))
+	if math.Abs(got-want) > lim {
+		t.Fatalf("%s = %v, want %v (|Δ| = %g > %g)", what, got, want, math.Abs(got-want), lim)
+	}
+}
+
+// Sliding across the whole series must track the direct computation —
+// both at the default rebuild cadence and with rebuilds disabled, where
+// only accumulated floating-point drift separates the two.
+func TestSlidingGramSlideMatchesDirect(t *testing.T) {
+	x := randSeries(700, 71)
+	for _, refresh := range []int{0, -1} {
+		omega, delta := 9, 9
+		start := omega + delta - 1
+		var g SlidingHankelGram
+		g.RefreshEvery = refresh
+		g.Init(x, start, omega, delta)
+		var dst Matrix
+		rows := make([]float64, omega)
+		for end := start + 1; end <= len(x); end++ {
+			g.Slide()
+			if g.End() != end {
+				t.Fatalf("refresh=%d: End = %d, want %d", refresh, g.End(), end)
+			}
+			wantG, wantR := refGramRows(x, end, omega, delta)
+			g.GramInto(&dst, 0, 1)
+			for i := range wantG {
+				closeRel(t, dst.Data[i], wantG[i], 1e-9, "gram entry")
+			}
+			g.RowSumsInto(rows, 0, 1)
+			for i := range wantR {
+				closeRel(t, rows[i], wantR[i], 1e-9, "row sum")
+			}
+		}
+	}
+}
+
+// The affine-correction identity must reproduce the Gram and row sums of
+// the explicitly normalized window w = (x − med)·inv.
+func TestSlidingGramNormalizedMatchesDirect(t *testing.T) {
+	x := randSeries(300, 72)
+	omega, delta := 9, 9
+	start := omega + delta - 1
+	var g SlidingHankelGram
+	g.Init(x, start, omega, delta)
+	var dst Matrix
+	rows := make([]float64, omega)
+	med, inv := 3.7, 0.42
+	w := make([]float64, len(x))
+	for i, v := range x {
+		w[i] = (v - med) * inv
+	}
+	for end := start; end <= start+130; end++ {
+		if end > start {
+			g.Slide()
+		}
+		wantG, wantR := refGramRows(w, end, omega, delta)
+		g.GramInto(&dst, med, inv)
+		for i := range wantG {
+			closeRel(t, dst.Data[i], wantG[i], 1e-9, "normalized gram entry")
+		}
+		g.RowSumsInto(rows, med, inv)
+		for i := range wantR {
+			closeRel(t, rows[i], wantR[i], 1e-9, "normalized row sum")
+		}
+	}
+}
+
+// The slid Gram matrix must behave as the same SymOp as the implicit
+// HankelGram operator within drift tolerance.
+func TestSlidingGramApplyMatchesHankelGram(t *testing.T) {
+	x := randSeries(200, 73)
+	omega, delta := 7, 9
+	start := omega + delta - 1
+	var g SlidingHankelGram
+	g.Init(x, start, omega, delta)
+	for i := 0; i < 50; i++ {
+		g.Slide()
+	}
+	var dst Matrix
+	g.GramInto(&dst, 0, 1)
+	var h HankelGram
+	h.Reset(x, g.End(), omega, delta)
+	v := randSeries(omega, 74)
+	got := make([]float64, omega)
+	want := make([]float64, omega)
+	dst.Apply(got, v)
+	h.Apply(want, v)
+	for i := range want {
+		closeRel(t, got[i], want[i], 1e-9, "operator apply")
+	}
+}
+
+// A KPI whose level dwarfs its spread is where the affine-correction
+// identity cancels catastrophically without centering: the raw products
+// sit at level², the normalized Gram at spread². Recentering near the
+// level must keep the normalized readout at full precision, and sliding
+// between recenters must not lose it.
+func TestSlidingGramRecenterLargeOffset(t *testing.T) {
+	noise := randSeries(300, 77)
+	x := make([]float64, len(noise))
+	const level = 4.2e7
+	for i, v := range noise {
+		x[i] = level + v // spread ~10 on a ~4e7 level
+	}
+	omega, delta := 9, 9
+	start := omega + delta - 1
+	var g SlidingHankelGram
+	g.RefreshEvery = -1 // recentring is the only rebuild
+	g.Init(x, start, omega, delta)
+	med, inv := level+0.3, 0.1
+	w := make([]float64, len(x))
+	for i, v := range x {
+		w[i] = (v - med) * inv
+	}
+	var dst Matrix
+	for end := start; end <= start+200; end++ {
+		if end > start {
+			g.Slide()
+		}
+		if (end-start)%64 == 0 {
+			g.Recenter(med)
+		}
+		wantG, _ := refGramRows(w, end, omega, delta)
+		g.GramInto(&dst, med, inv)
+		for i := range wantG {
+			closeRel(t, dst.Data[i], wantG[i], 1e-9, "recentered gram entry")
+		}
+	}
+}
+
+func TestSlidingGramPanics(t *testing.T) {
+	x := randSeries(30, 75)
+	var g SlidingHankelGram
+	mustPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	mustPanic("short series", func() { g.Init(x, 10, 9, 9) })
+	g.Init(x, 30, 9, 9)
+	mustPanic("slide past end", func() { g.Slide() })
+}
+
+// Steady-state sliding must not allocate: one slide plus both readouts.
+func TestSlidingGramZeroAlloc(t *testing.T) {
+	x := randSeries(4096, 76)
+	omega, delta := 9, 9
+	var g SlidingHankelGram
+	g.Init(x, omega+delta-1, omega, delta)
+	var dst Matrix
+	rows := make([]float64, omega)
+	g.GramInto(&dst, 0.5, 2) // warm dst
+	allocs := testing.AllocsPerRun(200, func() {
+		g.Slide()
+		g.GramInto(&dst, 0.5, 2)
+		g.RowSumsInto(rows, 0.5, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", allocs)
+	}
+}

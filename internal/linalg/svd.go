@@ -2,7 +2,6 @@ package linalg
 
 import (
 	"math"
-	"sort"
 )
 
 // SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ
@@ -19,27 +18,70 @@ type SVDResult struct {
 // against pathological input.
 const jacobiMaxSweeps = 60
 
+// SVDWorkspace holds the scratch buffers SVDWS needs: the working copy
+// of the input, the rotation accumulator, the unsorted and sorted
+// singular triplets and the sort permutation. The zero value is ready
+// for use; buffers grow on demand and are retained, so a long-lived
+// workspace makes repeated decompositions allocation-free.
+//
+// A workspace is not safe for concurrent use, and the matrices/slices
+// inside an SVDResult produced with it remain valid only until the next
+// call with the same workspace.
+type SVDWorkspace struct {
+	w, v, u, us, vs Matrix
+	s, ss           []float64
+	idx             []int
+}
+
 // SVD computes a thin singular value decomposition of a using one-sided
 // Jacobi rotations. Jacobi SVD is slower than Golub–Kahan for large
 // matrices but simple, unconditionally convergent and highly accurate —
 // exactly the trade-off the paper attributes to full SVD when motivating
 // the IKA fast path.
 func SVD(a *Matrix) SVDResult {
+	var ws SVDWorkspace
+	return SVDWS(&ws, a)
+}
+
+// SVDWS is SVD with every buffer drawn from ws, performing no allocation
+// once the workspace has warmed up. It runs the same rotation sequence
+// as SVD, so results are bit-identical to the allocating path. The
+// returned matrices and slice alias ws-owned memory; they are
+// invalidated by the next call with the same workspace.
+func SVDWS(ws *SVDWorkspace, a *Matrix) SVDResult {
 	m, n := a.Rows, a.Cols
 	if m >= n {
-		return svdTall(a.Clone())
+		ws.w.Reshape(m, n)
+		copy(ws.w.Data, a.Data)
+		return svdTall(ws)
 	}
 	// For wide matrices decompose the transpose and swap U/V.
-	r := svdTall(a.T())
+	ws.w.Reshape(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			ws.w.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	r := svdTall(ws)
 	return SVDResult{U: r.V, S: r.S, V: r.U}
 }
 
-// svdTall runs one-sided Jacobi on a tall (m ≥ n) matrix, destroying w.
-func svdTall(w *Matrix) SVDResult {
+// svdTall runs one-sided Jacobi on the tall (m ≥ n) matrix staged in
+// ws.w, destroying it.
+func svdTall(ws *SVDWorkspace) SVDResult {
+	w := &ws.w
 	m, n := w.Rows, w.Cols
-	v := Identity(n)
+	v := &ws.v
+	v.Reshape(n, n)
+	for i := range v.Data {
+		v.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		v.Data[i*n+i] = 1
+	}
 	if n == 0 {
-		return SVDResult{U: NewMatrix(m, 0), S: nil, V: v}
+		ws.u.Reshape(m, 0)
+		return SVDResult{U: &ws.u, S: nil, V: v}
 	}
 
 	// Frobenius-based convergence threshold for off-diagonal inner
@@ -109,8 +151,14 @@ func svdTall(w *Matrix) SVDResult {
 	}
 
 	// Column norms are the singular values; normalized columns form U.
-	s := make([]float64, n)
-	u := NewMatrix(m, n)
+	if cap(ws.s) < n {
+		ws.s = make([]float64, n)
+		ws.ss = make([]float64, n)
+		ws.idx = make([]int, n)
+	}
+	s := ws.s[:n]
+	u := &ws.u
+	u.Reshape(m, n)
 	for j := 0; j < n; j++ {
 		var norm float64
 		for i := 0; i < m; i++ {
@@ -127,19 +175,28 @@ func svdTall(w *Matrix) SVDResult {
 			// Zero singular value: leave the U column zero; it is
 			// completed to an orthonormal basis only if a caller needs
 			// it, which FUNNEL does not.
-			u.Data[j*n+j%n] = 0
+			for i := 0; i < m; i++ {
+				u.Data[i*n+j] = 0
+			}
 		}
 	}
 
-	// Sort descending by singular value, permuting U and V columns.
-	idx := make([]int, n)
+	// Sort descending by singular value, permuting U and V columns. A
+	// stable insertion sort keeps tied values in Jacobi output order and
+	// needs no allocation — n is a window width here, never large.
+	idx := ws.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
-	ss := make([]float64, n)
-	us := NewMatrix(m, n)
-	vs := NewMatrix(n, n)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && s[idx[j]] > s[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	ss := ws.ss[:n]
+	us, vs := &ws.us, &ws.vs
+	us.Reshape(m, n)
+	vs.Reshape(n, n)
 	for dst, src := range idx {
 		ss[dst] = s[src]
 		for i := 0; i < m; i++ {
@@ -156,15 +213,25 @@ func svdTall(w *Matrix) SVDResult {
 // as the columns of an a.Rows×k matrix. It panics if k exceeds
 // min(a.Rows, a.Cols).
 func TopLeftSingularVectors(a *Matrix, k int) *Matrix {
-	r := SVD(a)
+	var ws SVDWorkspace
+	out := &Matrix{}
+	TopLeftSingularVectorsWS(&ws, out, a, k)
+	return out
+}
+
+// TopLeftSingularVectorsWS is TopLeftSingularVectors with the
+// decomposition drawn from ws and the result written into dst (reshaped
+// to a.Rows×k), performing no allocation once both are warm. Values are
+// bit-identical to the allocating path.
+func TopLeftSingularVectorsWS(ws *SVDWorkspace, dst, a *Matrix, k int) {
+	r := SVDWS(ws, a)
 	if k > len(r.S) {
 		panic("linalg: k exceeds rank bound")
 	}
-	out := NewMatrix(a.Rows, k)
+	dst.Reshape(a.Rows, k)
 	for j := 0; j < k; j++ {
 		for i := 0; i < a.Rows; i++ {
-			out.Data[i*k+j] = r.U.Data[i*r.U.Cols+j]
+			dst.Data[i*k+j] = r.U.Data[i*r.U.Cols+j]
 		}
 	}
-	return out
 }

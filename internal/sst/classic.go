@@ -35,19 +35,24 @@ func NewClassic(cfg Config) *Classic {
 func (c *Classic) Config() Config { return c.cfg }
 
 // ScoreAt returns the classic SST change score of x at index t,
-// in [0, 1]. The window normalization and the Eq. 11 filter reuse a
-// pooled workspace; the SVDs still allocate (this scorer exists as the
-// §3.2.1 reference, not as a deployment path).
+// in [0, 1]. Every buffer — the trajectory matrices, both SVDs and the
+// η-direction readout — lives in the pooled workspace, so a
+// steady-state score allocates nothing; scores are bit-identical to the
+// allocating reference path (the allocating SVD delegates to the same
+// workspace kernel).
 func (c *Classic) ScoreAt(x []float64, t int) float64 {
 	ws := c.pool.Get().(*workspace)
 	defer c.pool.Put(ws)
 	w, tl := analysisWindowInto(ws, x, t, c.cfg)
 
-	b := pastMatrix(w, tl, c.cfg)
-	ueta := linalg.TopLeftSingularVectors(b, c.cfg.Eta)
+	linalg.HankelInto(&ws.hank, w, tl, c.cfg.Omega, c.cfg.Delta)
+	linalg.TopLeftSingularVectorsWS(&ws.svd, &ws.u, &ws.hank, c.cfg.Eta)
+	ueta := &ws.u
 
-	a := futureMatrix(w, tl, c.cfg)
-	beta := linalg.TopLeftSingularVectors(a, 1).Col(0)
+	futureEnd := tl + c.cfg.Rho + c.cfg.Gamma + c.cfg.Omega - 1
+	linalg.HankelInto(&ws.hank, w, futureEnd, c.cfg.Omega, c.cfg.Gamma)
+	linalg.TopLeftSingularVectorsWS(&ws.svd, &ws.beta1, &ws.hank, 1)
+	beta := ws.beta1.Data // ω×1: the data slice is the column
 	if linalg.Norm2(beta) == 0 {
 		// Degenerate future (constant window): no change signal.
 		return 0
@@ -57,7 +62,7 @@ func (c *Classic) ScoreAt(x []float64, t int) float64 {
 	// the score is its complement.
 	var proj float64
 	for j := 0; j < ueta.Cols; j++ {
-		d := linalg.Dot(ueta.Col(j), beta)
+		d := colDot(ueta, j, beta)
 		proj += d * d
 	}
 	score := 1 - sqrtClamped(proj)

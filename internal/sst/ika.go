@@ -73,37 +73,50 @@ func (s *IKA) scoreAt(ws *workspace, x []float64, t int) float64 {
 	futureEnd := tl + s.cfg.Rho + s.cfg.Gamma + s.cfg.Omega - 1
 	ws.future.Reset(w, futureEnd, s.cfg.Omega, s.cfg.Gamma)
 
-	eta := s.futureDirections(ws)
-	if eta == 0 {
-		return 0
-	}
-
-	var num, den float64
-	for i := 0; i < eta; i++ {
-		beta := ws.betas[i*s.cfg.Omega : (i+1)*s.cfg.Omega]
-		phi := s.discordance(ws, beta)
-		num += ws.lambdas[i] * phi
-		den += ws.lambdas[i]
-	}
-	var score float64
-	if den > 0 {
-		score = clamp01(num / den)
-	}
+	ws.start = grow(ws.start, s.cfg.Omega)
+	ws.future.RowSums(ws.start)
+	score, _ := s.scoreWindow(ws, &ws.past, &ws.future, s.cfg.K)
 	if s.cfg.RobustFilter {
 		score *= robustMultiplierWS(ws, w, tl, s.cfg.Omega)
 	}
 	return score
 }
 
-// futureDirections extracts η Ritz pairs of A·Aᵀ via Lanczos + QL,
-// storing the eigenvalues in ws.lambdas and the normalized Ritz vectors
-// (reconstructed in the original ω-dimensional space from the Krylov
-// basis) row-contiguously in ws.betas. It returns the number of pairs,
-// 0 on a degenerate window.
-func (s *IKA) futureDirections(ws *workspace) int {
+// scoreWindow runs the IKA core — η future Ritz pairs, then the λ-weighted
+// discordance of each — against arbitrary past/future Gram operators, with
+// ws.start already holding the Krylov start vector for the future solve.
+// The per-window path passes the implicit HankelGram operators; the
+// sliding sweep passes incrementally maintained dense Gram matrices and,
+// in warm-start mode, a reduced Krylov dimension k. The returned eta is
+// the number of Ritz pairs left in ws.lambdas/ws.betas (0 on a
+// degenerate window); the sweep reads ws.betas[0] back as the next
+// position's warm start.
+func (s *IKA) scoreWindow(ws *workspace, past, future linalg.SymOp, k int) (float64, int) {
+	eta := s.futureDirections(ws, future, k)
+	if eta == 0 {
+		return 0, 0
+	}
+	var num, den float64
+	for i := 0; i < eta; i++ {
+		beta := ws.betas[i*s.cfg.Omega : (i+1)*s.cfg.Omega]
+		phi := s.discordance(ws, past, beta)
+		num += ws.lambdas[i] * phi
+		den += ws.lambdas[i]
+	}
+	if den > 0 {
+		return clamp01(num / den), eta
+	}
+	return 0, eta
+}
+
+// futureDirections extracts η Ritz pairs of the future Gram operator via
+// Lanczos + QL, storing the eigenvalues in ws.lambdas and the normalized
+// Ritz vectors (reconstructed in the original ω-dimensional space from
+// the Krylov basis) row-contiguously in ws.betas. ws.start must hold the
+// Krylov start vector. It returns the number of pairs, 0 on a degenerate
+// window.
+func (s *IKA) futureDirections(ws *workspace, future linalg.SymOp, k int) int {
 	n := s.cfg.Omega
-	ws.start = grow(ws.start, n)
-	ws.future.RowSums(ws.start)
 	if linalg.Norm2(ws.start) < 1e-12 {
 		// Deterministic fallback for a vanishing A·1 (e.g. a perfectly
 		// antisymmetric window): a fixed ramp.
@@ -111,7 +124,7 @@ func (s *IKA) futureDirections(ws *workspace) int {
 			ws.start[i] = 1 + float64(i)
 		}
 	}
-	res, err := linalg.LanczosWS(&ws.lan, &ws.future, ws.start, s.cfg.K, true)
+	res, err := linalg.LanczosWS(&ws.lan, future, ws.start, k, true)
 	if err != nil {
 		return 0
 	}
@@ -158,13 +171,22 @@ func mulVecColTo(dst []float64, q, y *linalg.Matrix, col int) {
 }
 
 // discordance approximates φ = 1 − Σⱼ (βᵀuⱼ)² for the top-η
-// eigendirections uⱼ of the implicit past operator via Eq. 13.
-func (s *IKA) discordance(ws *workspace, beta []float64) float64 {
-	res, err := linalg.LanczosWS(&ws.lan, &ws.past, beta, s.cfg.K, false)
+// eigendirections uⱼ of the past Gram operator via Eq. 13, always with
+// the full Krylov dimension cfg.K: unlike the future solve, the start
+// vector β is nearly orthogonal to the past's dominant subspace
+// precisely when a change is present, so a reduced Krylov space would
+// distort φ at exactly the windows that matter. Only the first
+// components of the tridiagonal eigenvectors enter the score, so the
+// solve accumulates just that row of the rotations
+// (TridiagEigFirstRowWS) — bit-identical to reading row 0 of the full
+// eigenvector matrix at a fraction of the cost, and this eigensolve runs
+// η times per window against the future stage's once.
+func (s *IKA) discordance(ws *workspace, past linalg.SymOp, beta []float64) float64 {
+	res, err := linalg.LanczosWS(&ws.lan, past, beta, s.cfg.K, false)
 	if err != nil {
 		return 0
 	}
-	vals, vecs, err := linalg.TridiagEigWS(&ws.eig, res.Alpha, res.Beta)
+	vals, first, err := linalg.TridiagEigFirstRowWS(&ws.eig, res.Alpha, res.Beta)
 	if err != nil {
 		return 0
 	}
@@ -177,7 +199,7 @@ func (s *IKA) discordance(ws *workspace, beta []float64) float64 {
 		// First component of the j-th tridiagonal eigenvector: the
 		// cosine between β (the Krylov start vector) and the j-th Ritz
 		// direction of C.
-		x1 := vecs.At(0, j)
+		x1 := first[j]
 		// Skip numerically-zero Ritz values: they correspond to the
 		// null space, not to genuine past dynamics.
 		if vals[j] <= 1e-12*math.Max(1, vals[0]) {

@@ -40,26 +40,74 @@ func (r *Robust) Config() Config { return r.cfg }
 
 // ScoreAt returns the robust SST change score of x at index t.
 // Without the robustness filter the score lies in [0, 1]; with it, the
-// score is additionally scaled by the local level/spread change.
+// score is additionally scaled by the local level/spread change. The
+// trajectory matrices, the past SVD, the future Gram product and its
+// eigensolve all live in the pooled workspace, so a steady-state score
+// allocates nothing; scores are bit-identical to the allocating
+// reference path (the allocating SVD and eigensolve delegate to the
+// same workspace kernels, and GramSelfInto mirrors Mul term for term).
 func (r *Robust) ScoreAt(x []float64, t int) float64 {
 	ws := r.pool.Get().(*workspace)
 	defer r.pool.Put(ws)
 	w, tl := analysisWindowInto(ws, x, t, r.cfg)
 
-	b := pastMatrix(w, tl, r.cfg)
-	ueta := linalg.TopLeftSingularVectors(b, r.cfg.Eta)
+	linalg.HankelInto(&ws.hank, w, tl, r.cfg.Omega, r.cfg.Delta)
+	linalg.TopLeftSingularVectorsWS(&ws.svd, &ws.u, &ws.hank, r.cfg.Eta)
 
-	a := futureMatrix(w, tl, r.cfg)
-	gram := a.Mul(a.T())
-	vals, vecs, err := linalg.SymEig(gram)
+	futureEnd := tl + r.cfg.Rho + r.cfg.Gamma + r.cfg.Omega - 1
+	linalg.HankelInto(&ws.hank, w, futureEnd, r.cfg.Omega, r.cfg.Gamma)
+	linalg.GramSelfInto(&ws.gram, &ws.hank)
+	vals, vecs, err := linalg.SymEigWS(&ws.eig, &ws.gram)
 	if err != nil {
 		// The QL iteration essentially never fails on PSD Gram
 		// matrices; treat a failure as "no evidence of change".
 		return 0
 	}
 
-	lambdas, betas := selectFutureDirections(vals, vecs, r.cfg)
-	score := weightedDiscordance(ueta, lambdas, betas)
+	// Select the η eigenpairs (leading, or trailing under
+	// FutureSmallest) into the workspace: λᵢ floored at zero, βᵢ copied
+	// row-contiguously out of the eigenvector matrix before the next
+	// window reuses it.
+	n := r.cfg.Omega
+	eta := r.cfg.Eta
+	if eta > len(vals) {
+		eta = len(vals)
+	}
+	ws.lambdas = grow(ws.lambdas, eta)
+	ws.betas = grow(ws.betas, eta*n)
+	for i := 0; i < eta; i++ {
+		idx := i
+		if r.cfg.FutureSmallest {
+			idx = len(vals) - 1 - i
+		}
+		l := vals[idx]
+		if l < 0 {
+			l = 0
+		}
+		ws.lambdas[i] = l
+		beta := ws.betas[i*n : (i+1)*n]
+		for row := 0; row < n; row++ {
+			beta[row] = vecs.Data[row*vecs.Cols+idx]
+		}
+	}
+
+	// Eqs. 9–10, mirroring weightedDiscordance term for term.
+	var num, den float64
+	for i := 0; i < eta; i++ {
+		beta := ws.betas[i*n : (i+1)*n]
+		var proj float64
+		for j := 0; j < ws.u.Cols; j++ {
+			d := colDot(&ws.u, j, beta)
+			proj += d * d
+		}
+		phi := clamp01(1 - proj)
+		num += ws.lambdas[i] * phi
+		den += ws.lambdas[i]
+	}
+	var score float64
+	if den != 0 && !math.IsNaN(num) {
+		score = clamp01(num / den)
+	}
 	if r.cfg.RobustFilter {
 		score *= robustMultiplierWS(ws, w, tl, r.cfg.Omega)
 	}

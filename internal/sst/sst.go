@@ -145,11 +145,18 @@ type Scorer interface {
 
 // ScoreSeries evaluates s at every index whose analysis window fits,
 // returning a slice aligned with x where unscorable positions are NaN.
+// A scorer implementing RangeScorer (e.g. a SlidingScorer wrapper)
+// sweeps the series incrementally instead of re-evaluating every window
+// from scratch.
 func ScoreSeries(s Scorer, x []float64) []float64 {
 	cfg := s.Config()
 	out := make([]float64, len(x))
 	for i := range out {
 		out[i] = math.NaN()
+	}
+	if rs, ok := s.(RangeScorer); ok {
+		rs.ScoreRangeInto(out, x, cfg.PastSpan(), len(x)-cfg.FutureSpan()+1)
+		return out
 	}
 	for t := cfg.PastSpan(); t+cfg.FutureSpan() <= len(x); t++ {
 		out[t] = s.ScoreAt(x, t)
@@ -179,6 +186,7 @@ func ScoreSeriesParallel(s Scorer, x []float64, workers int) []float64 {
 	if workers > hi-lo {
 		workers = hi - lo
 	}
+	rs, ranged := s.(RangeScorer)
 	var wg sync.WaitGroup
 	chunk := (hi - lo + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -193,6 +201,10 @@ func ScoreSeriesParallel(s Scorer, x []float64, workers int) []float64 {
 		wg.Add(1)
 		go func(start, end int) {
 			defer wg.Done()
+			if ranged {
+				rs.ScoreRangeInto(out, x, start, end)
+				return
+			}
 			for t := start; t < end; t++ {
 				out[t] = s.ScoreAt(x, t)
 			}

@@ -35,6 +35,26 @@ type workspace struct {
 	// the Lanczos workspace before it is reused for the φ solves.
 	lambdas []float64
 	betas   []float64
+	// hank, gram, u, beta1 and svd back the dense reference scorers
+	// (Classic/Robust): the materialized trajectory matrix, the future
+	// Gram product, the η past singular vectors, the top future singular
+	// vector, and the Jacobi SVD scratch.
+	hank  linalg.Matrix
+	gram  linalg.Matrix
+	u     linalg.Matrix
+	beta1 linalg.Matrix
+	svd   linalg.SVDWorkspace
+}
+
+// colDot returns the inner product of column j of m with v, with the
+// same ascending-index accumulation as linalg.Dot(m.Col(j), v) — the
+// allocation-free replacement for extracting the column.
+func colDot(m *linalg.Matrix, j int, v []float64) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Cols+j] * v[i]
+	}
+	return s
 }
 
 // grow returns s resized to n, reusing its backing array when possible.

@@ -282,3 +282,35 @@ func TestConcurrentScoreAtMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// The dense reference scorers were the last allocating SST paths
+// (~40–50 allocs per window from trajectory matrices, SVD staging and
+// column extraction); now every buffer is pooled, a steady-state score
+// allocates nothing.
+func TestClassicRobustScoreAtZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts; alloc guarantee does not hold")
+	}
+	x := mixedSeries(400, 64)
+	for name, cfg := range configMatrix() {
+		for variant, s := range map[string]Scorer{
+			"classic": NewClassic(cfg),
+			"robust":  NewRobust(cfg),
+		} {
+			rcfg := s.Config()
+			t0 := rcfg.PastSpan()
+			span := len(x) - rcfg.FutureSpan() - t0
+			for i := 0; i < span; i++ {
+				s.ScoreAt(x, t0+i) // warm the pooled workspace
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				s.ScoreAt(x, t0+i%span)
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s/%s: allocs/op = %v, want 0", variant, name, allocs)
+			}
+		}
+	}
+}
