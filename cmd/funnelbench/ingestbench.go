@@ -1,0 +1,242 @@
+// The -run-ingest-bench mode: an end-to-end ingest-throughput suite
+// whose results are committed as BENCH_3.json at the repo root. Each
+// entry drives a fleet of concurrent publishers over loopback TCP into
+// a live IngestServer and measures wall-clock nanoseconds per stored
+// measurement, varying the two axes the sharded-store work targets:
+// the wire format (one 0x01 frame per measurement vs 0x04 batch
+// frames) and the store's lock striping (1 shard — the old
+// single-mutex store — vs StoreShards stripes). The -bench-check mode
+// replays the suite against the committed baseline and additionally
+// enforces the headline speedup: the batched, sharded path must move a
+// measurement at least ingestSpeedupFloor× faster than the
+// single-frame single-mutex baseline, measured fresh in the same run
+// so host noise cancels.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// ingestSpeedupFloor is the required end-to-end advantage of the
+// batch-frame + sharded-store path over the single-frame single-mutex
+// baseline, per measurement, in the persistent (write-ahead logged)
+// configuration funnelserve -data runs in production. Both sides are
+// measured in the same process moments apart, so the ratio is stable
+// even on noisy CI hosts.
+const ingestSpeedupFloor = 4.0
+
+// ingestPublishers is the synthetic fleet's concurrency: enough
+// publishers to contend on a single-mutex store, few enough that a
+// small CI host is not pure scheduler churn.
+const ingestPublishers = 4
+
+// ingestCase is one (wire format × striping × persistence)
+// configuration.
+type ingestCase struct {
+	name   string
+	shards int
+	batch  int  // measurements per 0x04 frame; ≤1 = one 0x01 frame each
+	wal    bool // write-ahead persistence on (funnelserve -data)
+}
+
+// ingestCases covers the axes. The in-memory block maps the (frame ×
+// striping) plane; the wal pair measures the production funnelserve
+// -data configuration, where the single-frame path pays one WAL write
+// per measurement and the batch path one per shard-run — the pair the
+// speedup gate anchors on.
+func ingestCases() []ingestCase {
+	batch := 1024 // accumulation per PublishBatch call; frames pack to the cap
+	return []ingestCase{
+		{"ingest/single-frame-1shard", 1, 0, false},
+		{"ingest/single-frame-sharded", monitor.StoreShards, 0, false},
+		{"ingest/batch-frame-1shard", 1, batch, false},
+		{"ingest/batch-frame-sharded", monitor.StoreShards, batch, false},
+		{"ingest/wal-single-frame-1shard", 1, 0, true},
+		{"ingest/wal-batch-frame-sharded", monitor.StoreShards, batch, true},
+	}
+}
+
+// ingestKeys pre-builds one publisher's key set so key formatting is
+// excluded from the timed region. Keys are spread across entities so
+// they stripe over every shard.
+func ingestKeys(pub, perPub int) []topo.KPIKey {
+	const distinct = 32
+	keys := make([]topo.KPIKey, distinct)
+	for i := range keys {
+		keys[i] = topo.KPIKey{
+			Scope:  topo.ScopeServer,
+			Entity: fmt.Sprintf("srv-%d-%d", pub, i),
+			Metric: "bench.qps",
+		}
+	}
+	out := make([]topo.KPIKey, perPub)
+	for i := range out {
+		out[i] = keys[i%distinct]
+	}
+	return out
+}
+
+// measureIngest runs one configuration: ingestPublishers concurrent
+// publishers push perPub measurements each into a fresh store behind a
+// loopback IngestServer, and the clock stops when the store has
+// ingested every one. It returns wall-clock ns per measurement.
+func measureIngest(c ingestCase, perPub int) (benchStats, error) {
+	start := time.Unix(0, 0).UTC()
+	var store *monitor.Store
+	if c.wal {
+		dir, err := os.MkdirTemp("", "funnelbench-wal-")
+		if err != nil {
+			return benchStats{}, err
+		}
+		defer os.RemoveAll(dir)
+		// Background fsync and auto-compaction off: the entry measures
+		// the logging path itself, not periodic maintenance.
+		store, err = monitor.OpenPersistent(dir, start, time.Minute, monitor.PersistOptions{
+			Shards: c.shards, SyncInterval: -1, CompactBytes: -1,
+		})
+		if err != nil {
+			return benchStats{}, err
+		}
+		defer store.Close()
+	} else {
+		store = monitor.NewStoreShards(start, time.Minute, c.shards)
+	}
+	col := obs.NewCollector()
+	store.SetCollector(col)
+	srv := monitor.NewIngestServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return benchStats{}, err
+	}
+	defer srv.Close()
+
+	// Pre-build every publisher's key rotation before the clock starts:
+	// key formatting is harness setup, not ingest cost.
+	keysByPub := make([][]topo.KPIKey, ingestPublishers)
+	for p := range keysByPub {
+		keysByPub[p] = ingestKeys(p, perPub)
+	}
+
+	total := int64(ingestPublishers) * int64(perPub)
+	errs := make(chan error, ingestPublishers)
+	t0 := time.Now()
+	for p := 0; p < ingestPublishers; p++ {
+		go func(p int) {
+			errs <- publishIngestLoad(addr.String(), c.batch, keysByPub[p], start)
+		}(p)
+	}
+	for p := 0; p < ingestPublishers; p++ {
+		if err := <-errs; err != nil {
+			return benchStats{}, err
+		}
+	}
+	// Publishers have flushed and closed; wait for the server side to
+	// drain its last buffered frames into the store. The poll is fine
+	// grained so the tail wait does not distort short entries.
+	deadline := time.Now().Add(30 * time.Second)
+	for col.Counter(obs.CtrIngested) < total {
+		if time.Now().After(deadline) {
+			return benchStats{}, fmt.Errorf("%s: ingested %d of %d measurements before timeout",
+				c.name, col.Counter(obs.CtrIngested), total)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	elapsed := time.Since(t0)
+	return benchStats{NsPerOp: float64(elapsed.Nanoseconds()) / float64(total)}, nil
+}
+
+// publishIngestLoad is one publisher goroutine's work: one measurement
+// per entry of the pre-built key rotation, batched per the case
+// configuration. Bins advance every full key rotation so every
+// measurement lands in its own (key, bin) cell.
+func publishIngestLoad(addr string, batchSize int, keys []topo.KPIKey, start time.Time) error {
+	pub, err := monitor.DialPublisher(addr)
+	if err != nil {
+		return err
+	}
+	perPub := len(keys)
+	const distinct = 32
+	if batchSize > 1 {
+		batch := make([]monitor.Measurement, 0, batchSize)
+		for i := 0; i < perPub; i++ {
+			batch = append(batch, monitor.Measurement{
+				Key: keys[i], T: start.Add(time.Duration(i/distinct) * time.Minute), V: float64(i),
+			})
+			if len(batch) == batchSize {
+				if err := pub.PublishBatch(batch); err != nil {
+					pub.Close()
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := pub.PublishBatch(batch); err != nil {
+				pub.Close()
+				return err
+			}
+		}
+	} else {
+		for i := 0; i < perPub; i++ {
+			m := monitor.Measurement{
+				Key: keys[i], T: start.Add(time.Duration(i/distinct) * time.Minute), V: float64(i),
+			}
+			if err := pub.Publish(m); err != nil {
+				pub.Close()
+				return err
+			}
+		}
+	}
+	return pub.Close()
+}
+
+// runIngestSuite executes every ingest configuration with perPub
+// measurements per publisher. With checkPath empty the results are
+// written to outPath as a funnel-bench/v1 document; otherwise they are
+// gated against the committed baseline (latency headroom per entry)
+// plus the fresh ingestSpeedupFloor ratio.
+func runIngestSuite(perPub int, outPath, checkPath string) error {
+	if perPub < 100 {
+		perPub = 100
+	}
+	fmt.Printf("ingest-throughput suite: %d publishers × %d measurements per entry\n",
+		ingestPublishers, perPub)
+	var entries []benchEntry
+	byName := make(map[string]benchStats)
+	for _, c := range ingestCases() {
+		// Best of two runs: wall-clock per-measurement cost only ever
+		// inflates under scheduler or GC interference, so the min is the
+		// honest figure on a shared host.
+		st, err := measureIngest(c, perPub)
+		if err != nil {
+			return err
+		}
+		if st2, err := measureIngest(c, perPub); err != nil {
+			return err
+		} else if st2.NsPerOp < st.NsPerOp {
+			st = st2
+		}
+		byName[c.name] = st
+		entries = append(entries, benchEntry{Name: c.name, Iters: ingestPublishers * perPub, After: st})
+		fmt.Printf("  %-30s %12.0f ns/measurement\n", c.name, st.NsPerOp)
+	}
+
+	memRatio := byName["ingest/single-frame-1shard"].NsPerOp / byName["ingest/batch-frame-sharded"].NsPerOp
+	walRatio := byName["ingest/wal-single-frame-1shard"].NsPerOp / byName["ingest/wal-batch-frame-sharded"].NsPerOp
+	fmt.Printf("  batch+sharded speedup over single-frame single-mutex: %.1f× in-memory, %.1f× persistent\n",
+		memRatio, walRatio)
+
+	if checkPath != "" {
+		if walRatio < ingestSpeedupFloor {
+			return fmt.Errorf("persistent ingest speedup %.2f× below required %.1f×", walRatio, ingestSpeedupFloor)
+		}
+		return checkAgainstBaseline(checkPath, entries)
+	}
+	return writeBenchFile(outPath, entries)
+}

@@ -22,6 +22,14 @@
 //	funnelbench -run-bench                  measure and write -bench-out
 //	funnelbench -run-bench -bench-check F   measure and fail on alloc or
 //	                                        latency regression vs baseline F
+//
+// and a third measures end-to-end ingest throughput over loopback TCP
+// (committed as BENCH_3.json; the check additionally requires the
+// batch-frame + sharded-store path to beat the single-frame
+// single-mutex baseline by ≥ 4×):
+//
+//	funnelbench -run-ingest-bench                  measure, write -ingest-out
+//	funnelbench -run-ingest-bench -bench-check F   measure and gate vs F
 package main
 
 import (
@@ -53,9 +61,21 @@ func main() {
 		benchIters = flag.Int("bench-iters", 300, "iterations per per-window benchmark entry")
 		benchOut   = flag.String("bench-out", "BENCH_2.json", "output path for the benchmark baseline JSON")
 		benchCheck = flag.String("bench-check", "", "baseline JSON to compare against; exit 1 on allocation or latency regression")
+
+		runIngest  = flag.Bool("run-ingest-bench", false, "run the end-to-end ingest-throughput suite (loopback TCP, single vs batch frames, 1 vs sharded store)")
+		ingestMeas = flag.Int("ingest-meas", 20000, "measurements per publisher per ingest-throughput entry")
+		ingestOut  = flag.String("ingest-out", "BENCH_3.json", "output path for the ingest-throughput baseline JSON")
 	)
 	flag.Parse()
 	csvDir = *csvOut
+
+	if *runIngest {
+		if err := runIngestSuite(*ingestMeas, *ingestOut, *benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "funnelbench: ingest bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *runBench || *benchCheck != "" {
 		if err := runBenchSuite(*benchIters, *benchOut, *benchCheck); err != nil {

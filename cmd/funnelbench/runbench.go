@@ -271,7 +271,12 @@ func runBenchSuite(iters int, outPath, checkPath string) error {
 	if checkPath != "" {
 		return checkAgainstBaseline(checkPath, entries)
 	}
+	return writeBenchFile(outPath, entries)
+}
 
+// writeBenchFile commits a measured entry set as a funnel-bench/v1
+// baseline document.
+func writeBenchFile(outPath string, entries []benchEntry) error {
 	doc := benchFile{
 		Schema:     "funnel-bench/v1",
 		GoVersion:  runtime.Version(),

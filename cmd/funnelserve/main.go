@@ -47,6 +47,8 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit reports as JSON instead of text")
 		debug     = flag.String("debug", "127.0.0.1:7104", "telemetry HTTP listen address: /metrics, /debug/pprof/*, /traces/<id> (empty = off)")
 		upstream  = flag.String("upstream", "", "subscribe-port address of another funnelserve to mirror measurements from (reconnects with backoff; empty = off)")
+		data      = flag.String("data", "", "directory for write-ahead persistence: every measurement is logged before ingest acks and a restart replays to the exact pre-crash store (empty = in-memory only)")
+		shards    = flag.Int("shards", monitor.StoreShards, "store lock-stripe count")
 		verbose   = flag.Bool("v", false, "log lifecycle events (registrations, reports) to stderr")
 	)
 	flag.Parse()
@@ -65,7 +67,23 @@ func main() {
 		}
 		start = t
 	}
-	store := monitor.NewStore(start, time.Minute)
+	var store *monitor.Store
+	if *data != "" {
+		var err error
+		store, err = monitor.OpenPersistent(*data, start, time.Minute, monitor.PersistOptions{Shards: *shards})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "funnelserve: open data dir:", err)
+			os.Exit(1)
+		}
+		if rec := store.Recovered(); rec.SnapshotSeries > 0 || rec.WALRecords > 0 || rec.TornTails > 0 {
+			fmt.Printf("funnelserve: recovered %d series from snapshot, %d WAL records (%d torn tails discarded)\n",
+				rec.SnapshotSeries, rec.WALRecords, rec.TornTails)
+		}
+		start = store.Start() // a recovered epoch wins over the flag
+	} else {
+		store = monitor.NewStoreShards(start, time.Minute, *shards)
+	}
+	defer store.Close()
 
 	d, err := daemon.Start(daemon.Config{
 		Store: store,

@@ -1,0 +1,207 @@
+// Command linkcheck validates the repository's markdown cross
+// references offline: every inline link `[text](target)` in every
+// tracked .md file must resolve. Relative targets must exist on disk,
+// fragment targets (`#section`, `file.md#section`) must match a
+// GitHub-style heading anchor in the referenced file, and http(s)
+// targets are skipped — CI has no network and external liveness is not
+// this tool's job. It walks the given roots (default ".") and prints
+// one line per broken link:
+//
+//	linkcheck            # check every .md under the current directory
+//	linkcheck docs extra.md
+//
+// Exit status is 1 when any link is broken, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links and images. Nested brackets and
+// angle-bracket targets are out of scope — the repository uses neither.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings, whose text becomes the anchor.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: linkcheck [root ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		fs, err := collect(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		files = append(files, fs...)
+	}
+	broken := 0
+	for _, f := range files {
+		n, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		broken += n
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links in %d files\n", broken, len(files))
+		os.Exit(1)
+	}
+}
+
+// collect gathers the .md files under root (or root itself when it is
+// a file), skipping dot-directories and testdata.
+func collect(root string) ([]string, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{root}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// checkFile validates every link in one markdown file and returns the
+// broken count.
+func checkFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	broken := 0
+	for _, m := range linkRe.FindAllStringSubmatch(stripCode(string(data)), -1) {
+		target := m[1]
+		if why := checkTarget(path, target); why != "" {
+			fmt.Printf("%s: broken link %q: %s\n", path, target, why)
+			broken++
+		}
+	}
+	return broken, nil
+}
+
+// stripCode blanks out fenced and inline code spans so example links
+// inside code blocks are not validated.
+func stripCode(s string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.SplitAfter(s, "\n") {
+		trim := strings.TrimSpace(line)
+		if strings.HasPrefix(trim, "```") || strings.HasPrefix(trim, "~~~") {
+			inFence = !inFence
+			b.WriteString("\n")
+			continue
+		}
+		if inFence {
+			b.WriteString("\n")
+			continue
+		}
+		// Blank inline code spans in place.
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + strings.Repeat(" ", j+2) + line[i+1+j+1:]
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// checkTarget resolves one link target relative to the file that holds
+// it, returning an empty string when it is fine and the reason
+// otherwise.
+func checkTarget(from, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not checked offline
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	dest := from
+	if file != "" {
+		dest = filepath.Join(filepath.Dir(from), filepath.FromSlash(file))
+		info, err := os.Stat(dest)
+		if err != nil {
+			return "file does not exist"
+		}
+		if info.IsDir() && frag != "" {
+			return "fragment on a directory link"
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.EqualFold(filepath.Ext(dest), ".md") {
+		return "" // fragments into non-markdown files are not checkable
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		return "cannot read fragment target"
+	}
+	for _, h := range headingRe.FindAllStringSubmatch(stripCode(string(data)), -1) {
+		if anchor(h[1]) == strings.ToLower(frag) {
+			return ""
+		}
+	}
+	return fmt.Sprintf("no heading matches #%s", frag)
+}
+
+// anchor converts a heading to its GitHub-style anchor: lowercase,
+// punctuation dropped, spaces to hyphens.
+func anchor(heading string) string {
+	// Drop inline markup the anchor algorithm ignores.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r)):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package changelog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestAppendValidationTable drives every Append rejection through one
+// table.
+func TestAppendValidationTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		prior   []Change
+		c       Change
+		wantErr bool
+	}{
+		{"valid", nil, mk("c1", "svc", base), false},
+		{"empty id", nil, Change{Service: "svc"}, true},
+		{"empty service", nil, Change{ID: "c1"}, true},
+		{"duplicate id", []Change{mk("c1", "svc", base)}, mk("c1", "other", base.Add(time.Hour)), true},
+		{"same time different id", []Change{mk("c1", "svc", base)}, mk("c2", "svc", base), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLog()
+			for _, c := range tc.prior {
+				must(t, l.Append(c))
+			}
+			err := l.Append(tc.c)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Append(%+v) err = %v, wantErr %v", tc.c, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// queryLog is the fixture the query tables run against: five changes
+// across three services, appended out of time order.
+func queryLog(t *testing.T) *Log {
+	t.Helper()
+	l := NewLog()
+	for _, c := range []Change{
+		mk("d", "pay", base.Add(3*time.Hour)),
+		mk("a", "web", base),
+		mk("e", "web", base.Add(4*time.Hour)),
+		mk("b", "ads", base.Add(1*time.Hour)),
+		mk("c", "web", base.Add(2*time.Hour)),
+	} {
+		must(t, l.Append(c))
+	}
+	return l
+}
+
+// TestInRangeTable covers the boundary semantics (from inclusive, to
+// exclusive) and the empty cases.
+func TestInRangeTable(t *testing.T) {
+	l := queryLog(t)
+	for _, tc := range []struct {
+		name     string
+		from, to time.Time
+		want     []string
+	}{
+		{"all", base, base.Add(5 * time.Hour), []string{"a", "b", "c", "d", "e"}},
+		{"interior", base.Add(time.Hour), base.Add(3 * time.Hour), []string{"b", "c"}},
+		{"from inclusive", base, base.Add(time.Minute), []string{"a"}},
+		{"to exclusive", base, base.Add(time.Hour), []string{"a"}},
+		{"empty window", base.Add(time.Hour), base.Add(time.Hour), nil},
+		{"past the log", base.Add(10 * time.Hour), base.Add(20 * time.Hour), nil},
+		{"before the log", base.Add(-2 * time.Hour), base.Add(-time.Hour), nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := l.InRange(tc.from, tc.to)
+			if len(got) != len(tc.want) {
+				t.Fatalf("InRange = %+v, want ids %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i].ID != tc.want[i] {
+					t.Fatalf("InRange[%d] = %q, want %q", i, got[i].ID, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentWithTable covers the self-, same-service- and
+// out-of-window exclusions.
+func TestConcurrentWithTable(t *testing.T) {
+	l := queryLog(t)
+	for _, tc := range []struct {
+		name   string
+		id     string
+		window time.Duration
+		want   []string
+	}{
+		{"tight window", "c", time.Minute, nil},
+		// InRange's upper bound is exclusive, so a change exactly
+		// `window` later (d at +1h from c) does not count as concurrent.
+		{"one hour", "c", time.Hour, []string{"b"}},
+		{"just past the boundary", "c", time.Hour + time.Minute, []string{"b", "d"}},
+		{"whole log skips same service", "c", 5 * time.Hour, []string{"b", "d"}},
+		{"edge of log", "a", time.Hour + time.Minute, []string{"b"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, ok := l.Get(tc.id)
+			if !ok {
+				t.Fatalf("fixture misses %q", tc.id)
+			}
+			got := l.ConcurrentWith(c, tc.window)
+			if len(got) != len(tc.want) {
+				t.Fatalf("ConcurrentWith = %+v, want ids %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i].ID != tc.want[i] {
+					t.Fatalf("ConcurrentWith[%d] = %q, want %q", i, got[i].ID, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCombineTable drives Combine's merge rules — type promotion,
+// earliest time, server union, description join — and its rejections.
+func TestCombineTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		changes []Change
+		wantErr bool
+		want    Change
+	}{
+		{
+			name:    "empty",
+			wantErr: true,
+		},
+		{
+			name: "cross service",
+			changes: []Change{
+				mk("a", "svc1", base), mk("b", "svc2", base),
+			},
+			wantErr: true,
+		},
+		{
+			name:    "single config stays config",
+			changes: []Change{{ID: "a", Type: Config, Service: "svc", Servers: []string{"s1"}, At: base}},
+			want:    Change{ID: "m", Type: Config, Service: "svc", Servers: []string{"s1"}, At: base},
+		},
+		{
+			name: "upgrade promotes and servers dedup",
+			changes: []Change{
+				{ID: "a", Type: Config, Service: "svc", Servers: []string{"s2", "s1"}, At: base.Add(time.Hour), Description: "tune pool"},
+				{ID: "b", Type: Upgrade, Service: "svc", Servers: []string{"s2", "s3"}, At: base, Description: "v2 rollout"},
+			},
+			want: Change{
+				ID: "m", Type: Upgrade, Service: "svc",
+				Servers: []string{"s1", "s2", "s3"}, At: base,
+				Description: "tune pool; v2 rollout",
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Combine("m", tc.changes)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Combine err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if tc.wantErr {
+				return
+			}
+			if got.ID != tc.want.ID || got.Type != tc.want.Type ||
+				got.Service != tc.want.Service || !got.At.Equal(tc.want.At) ||
+				got.Description != tc.want.Description {
+				t.Fatalf("Combine = %+v, want %+v", got, tc.want)
+			}
+			if len(got.Servers) != len(tc.want.Servers) {
+				t.Fatalf("servers = %v, want %v", got.Servers, tc.want.Servers)
+			}
+			for i := range got.Servers {
+				if got.Servers[i] != tc.want.Servers[i] {
+					t.Fatalf("servers = %v, want %v", got.Servers, tc.want.Servers)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenLogJSON pins the time-ordered JSON dump of a log built
+// from out-of-order appends — the shape admin tooling sees when it
+// lists a day's changes.
+func TestGoldenLogJSON(t *testing.T) {
+	l := queryLog(t)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l.All()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "log.json.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/changelog -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("log JSON drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

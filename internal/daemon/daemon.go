@@ -107,6 +107,11 @@ func Start(cfg Config) (*Daemon, error) {
 	if col != nil {
 		cfg.Store.SetCollector(col)
 		cfg.Pipeline.Obs = col
+		// Surface crash-recovery work done before the collector was
+		// attached, so /debug/vars reflects what OpenPersistent replayed.
+		if rec := cfg.Store.Recovered(); rec.WALRecords > 0 {
+			col.Add(obs.CtrWALReplayed, int64(rec.WALRecords))
+		}
 	}
 	tp := topo.NewTopology()
 	online, err := funnel.NewOnline(cfg.Store, tp, cfg.Pipeline)

@@ -168,3 +168,40 @@ func FuzzIngestStream(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch checks the batch (0x04) codec: whatever DecodeBatchInto
+// accepts must re-encode and decode to the same measurements, with and
+// without key interning.
+func FuzzDecodeBatch(f *testing.F) {
+	good, _ := EncodeBatch([]Measurement{
+		{Key: topo.KPIKey{Scope: topo.ScopeServer, Entity: "srv-1", Metric: "cpu"}, T: time.Unix(60, 0).UTC(), V: 1},
+		{Key: topo.KPIKey{Scope: topo.ScopeService, Entity: "kv", Metric: "qps"}, T: time.Unix(120, 0).UTC(), V: 2},
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{frameBatch})
+	f.Add([]byte{frameBatch, 0x00, 0x01})
+	f.Add([]byte{frameBatch, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := DecodeBatchInto(nil, data, nil)
+		if err != nil {
+			return
+		}
+		re, err := EncodeBatch(ms)
+		if err != nil {
+			t.Fatalf("accepted batch failed to re-encode: %v", err)
+		}
+		ms2, err := DecodeBatchInto(nil, re, NewKeyCache())
+		if err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+		if len(ms2) != len(ms) {
+			t.Fatalf("round trip changed count: %d vs %d", len(ms2), len(ms))
+		}
+		for i := range ms {
+			if ms2[i].Key != ms[i].Key || !ms2[i].T.Equal(ms[i].T) {
+				t.Fatalf("entry %d drifted: %+v vs %+v", i, ms2[i], ms[i])
+			}
+		}
+	})
+}

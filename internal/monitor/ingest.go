@@ -95,30 +95,57 @@ func (s *IngestServer) handle(conn net.Conn) {
 	col.Add(obs.CtrConnsActive, 1)
 	defer col.Add(obs.CtrConnsActive, -1)
 	rt := timeout(s.ReadTimeout, DefaultIngestReadTimeout)
-	r := bufio.NewReader(conn)
+	// A frame-cap-sized read buffer so a packed batch frame arrives in
+	// as few read syscalls as the socket allows.
+	r := bufio.NewReaderSize(conn, maxFrame)
+	// Per-connection decode state: the frame buffer, key intern table
+	// and batch scratch persist across frames so a steady publisher
+	// decodes without per-measurement allocation.
+	cache := NewKeyCache()
+	var frameBuf []byte
+	var batch []Measurement
 	for {
 		if rt > 0 {
 			conn.SetReadDeadline(time.Now().Add(rt))
 		}
-		payload, err := ReadFrame(r)
+		payload, err := ReadFrameInto(r, frameBuf)
+		if cap(payload) > cap(frameBuf) {
+			frameBuf = payload[:0]
+		}
 		if err != nil {
 			countReadErr(col, err)
 			return
 		}
-		m, err := DecodeMeasurement(payload)
-		if err != nil {
+		if len(payload) == 0 {
 			col.Add(obs.CtrConnDrops, 1)
 			return // protocol violation: drop the publisher
 		}
-		s.store.Append(m)
+		switch payload[0] {
+		case frameBatch:
+			batch, err = DecodeBatchInto(batch[:0], payload, cache)
+			if err != nil {
+				col.Add(obs.CtrConnDrops, 1)
+				return
+			}
+			s.store.AppendBatch(batch)
+			col.Add(obs.CtrBatchFrames, 1)
+		default:
+			m, err := DecodeMeasurement(payload)
+			if err != nil {
+				col.Add(obs.CtrConnDrops, 1)
+				return // protocol violation: drop the publisher
+			}
+			s.store.Append(m)
+		}
 	}
 }
 
 // Publisher is the agent-side connection to an IngestServer. It is not
 // safe for concurrent use; one publisher per agent goroutine.
 type Publisher struct {
-	conn net.Conn
-	w    *bufio.Writer
+	conn     net.Conn
+	w        *bufio.Writer
+	batchBuf []byte
 }
 
 // DialPublisher connects an agent to the ingest endpoint.
@@ -138,6 +165,25 @@ func (p *Publisher) Publish(m Measurement) error {
 		return err
 	}
 	return WriteFrame(p.w, frame)
+}
+
+// PublishBatch sends many measurements in batch frames (0x04),
+// amortizing framing and syscall overhead; the fleet load path uses
+// it. Each frame is packed to the frame size bound, so the split count
+// adapts to the actual key sizes.
+func (p *Publisher) PublishBatch(ms []Measurement) error {
+	for len(ms) > 0 {
+		frame, rest, err := appendBatchFill(p.batchBuf[:0], ms)
+		if err != nil {
+			return err
+		}
+		p.batchBuf = frame[:0]
+		if err := WriteFrame(p.w, frame); err != nil {
+			return err
+		}
+		ms = rest
+	}
+	return nil
 }
 
 // Flush pushes buffered frames to the wire.

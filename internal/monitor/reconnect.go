@@ -2,6 +2,8 @@ package monitor
 
 import (
 	"bufio"
+	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"time"
@@ -107,9 +109,21 @@ type PublisherConfig struct {
 	// the outage. Overflow evicts the oldest entry and counts it in
 	// Dropped — loss is observable, never silent.
 	ReplayCapacity int
+	// BatchSize > 1 coalesces that many measurements per batch frame
+	// (0x04) instead of one measurement frame each, amortizing framing
+	// and syscall overhead on the fleet path. 0 or 1 keeps the
+	// frame-per-measurement wire behavior. Partial batches are flushed
+	// by Flush, so coalescing adds no latency beyond the caller's own
+	// flush cadence. Clamped to ReplayCapacity.
+	BatchSize int
 	// Obs counts reconnects on obs.CtrReconnects.
 	Obs *obs.Collector
 }
+
+// DefaultBatchSize is the coalescing batch size used by fleet-scale
+// publishers (cmd/kpigen -load) and the chunk bound for
+// Publisher.PublishBatch frame splitting.
+const DefaultBatchSize = 64
 
 // RobustPublisher is a Publisher that survives connection flaps: every
 // published measurement enters a bounded replay ring, writes that fail
@@ -127,6 +141,13 @@ type RobustPublisher struct {
 	start int // index of the oldest live entry
 	count int
 
+	// pending holds measurements accepted while connected but not yet
+	// framed (BatchSize coalescing). Cleared on disconnect — every
+	// pending measurement is also in the ring, so the reconnect resend
+	// covers it.
+	pending  []Measurement
+	batchBuf []byte
+
 	bo          *backoffState
 	nextAttempt time.Time
 	reconnects  int64
@@ -142,6 +163,9 @@ type RobustPublisher struct {
 func DialRobustPublisher(addr string, cfg PublisherConfig) (*RobustPublisher, error) {
 	if cfg.ReplayCapacity <= 0 {
 		cfg.ReplayCapacity = 8192
+	}
+	if cfg.BatchSize > cfg.ReplayCapacity {
+		cfg.BatchSize = cfg.ReplayCapacity
 	}
 	p := &RobustPublisher{
 		addr: addr,
@@ -174,6 +198,9 @@ func (p *RobustPublisher) disconnect(err error) {
 		p.w = nil
 	}
 	p.lastErr = err
+	// Anything not yet framed is still in the ring; the reconnect
+	// resend will carry it.
+	p.pending = p.pending[:0]
 	delay, ok := p.bo.next()
 	if !ok {
 		// Budget exhausted: stay down until the caller closes; Err
@@ -217,12 +244,27 @@ func (p *RobustPublisher) tryReconnect() bool {
 	p.cfg.Obs.Add(obs.CtrReconnects, 1)
 	// Resend everything we still hold: the ingest store overwrites by
 	// (key, bin), so replaying measurements the server already has is
-	// harmless, and replaying ones it lost closes the gap.
-	for i := 0; i < p.count; i++ {
-		m := p.ring[(p.start+i)%len(p.ring)]
-		if err := p.writeMeasurement(m); err != nil {
-			p.disconnect(err)
-			return false
+	// harmless, and replaying ones it lost closes the gap. With
+	// coalescing enabled the ring is resent in batch frames.
+	if p.cfg.BatchSize > 1 && p.count > 1 {
+		scratch := make([]Measurement, 0, p.cfg.BatchSize)
+		for i := 0; i < p.count; i++ {
+			scratch = append(scratch, p.ring[(p.start+i)%len(p.ring)])
+			if len(scratch) == p.cfg.BatchSize || i == p.count-1 {
+				if err := p.writeBatch(scratch); err != nil {
+					p.disconnect(err)
+					return false
+				}
+				scratch = scratch[:0]
+			}
+		}
+	} else {
+		for i := 0; i < p.count; i++ {
+			m := p.ring[(p.start+i)%len(p.ring)]
+			if err := p.writeMeasurement(m); err != nil {
+				p.disconnect(err)
+				return false
+			}
 		}
 	}
 	if err := p.w.Flush(); err != nil {
@@ -241,17 +283,56 @@ func (p *RobustPublisher) writeMeasurement(m Measurement) error {
 	return WriteFrame(p.w, frame)
 }
 
+// writeBatch frames and buffers many measurements as batch frames
+// (splitting at the frame cap), reusing the publisher's encode buffer.
+func (p *RobustPublisher) writeBatch(ms []Measurement) error {
+	for len(ms) > 0 {
+		frame, rest, err := appendBatchFill(p.batchBuf[:0], ms)
+		if err != nil {
+			return err
+		}
+		p.batchBuf = frame[:0]
+		if err := WriteFrame(p.w, frame); err != nil {
+			return err
+		}
+		ms = rest
+	}
+	return nil
+}
+
+// validateKey pre-checks the only property that can make a measurement
+// unencodable, so Publish can reject it without allocating a frame.
+func validateKey(m Measurement) error {
+	if len(m.Key.Entity) > math.MaxUint16 || len(m.Key.Metric) > math.MaxUint16 {
+		return fmt.Errorf("monitor: string too long (%d bytes)", max(len(m.Key.Entity), len(m.Key.Metric)))
+	}
+	return nil
+}
+
 // Publish queues one measurement and sends it if connected. A
 // transport failure is absorbed: the measurement stays in the replay
 // ring and a later Publish/Flush redials per the backoff schedule.
-// Only encoding errors (malformed keys) are returned.
+// Only encoding errors (malformed keys) are returned. With BatchSize
+// coalescing the measurement may sit in the pending batch until the
+// batch fills or Flush runs.
 func (p *RobustPublisher) Publish(m Measurement) error {
-	if _, err := EncodeMeasurement(m); err != nil {
+	if err := validateKey(m); err != nil {
 		return err
 	}
 	p.remember(m)
 	if !p.tryReconnect() {
 		return nil // queued; a future call resends
+	}
+	if p.cfg.BatchSize > 1 {
+		p.pending = append(p.pending, m)
+		if len(p.pending) >= p.cfg.BatchSize {
+			if err := p.writeBatch(p.pending); err != nil {
+				p.disconnect(err)
+				return nil
+			}
+			p.pending = p.pending[:0]
+		}
+		return nil
 	}
 	if err := p.writeMeasurement(m); err != nil {
 		p.disconnect(err)
@@ -259,16 +340,49 @@ func (p *RobustPublisher) Publish(m Measurement) error {
 	return nil
 }
 
-// Flush pushes buffered frames to the wire, reconnecting first if the
-// connection is down.
+// Flush frames any pending batch and pushes buffered frames to the
+// wire, reconnecting first if the connection is down. It also probes
+// the connection for a peer close, so a publisher with nothing left to
+// send still notices a dead link and replays on the next call — a
+// quiet agent must not sit on a severed connection forever.
 func (p *RobustPublisher) Flush() error {
 	if !p.tryReconnect() {
 		return nil // still down; measurements are queued
 	}
+	if len(p.pending) > 0 {
+		if err := p.writeBatch(p.pending); err != nil {
+			p.disconnect(err)
+			return nil
+		}
+		p.pending = p.pending[:0]
+	}
 	if err := p.w.Flush(); err != nil {
 		p.disconnect(err)
+		return nil
 	}
+	p.probe()
 	return nil
+}
+
+// probe detects a peer-closed connection without writing: the ingest
+// protocol is strictly client→server, so a read can only ever return
+// "no data yet" (the deadline firing, link healthy) or an EOF/reset
+// (the peer is gone). An empty bufio flush makes no syscall, so without
+// this a torn link whose publisher has nothing more to say would never
+// surface.
+func (p *RobustPublisher) probe() {
+	if p.conn.SetReadDeadline(time.Now()) != nil {
+		return // not a deadline-capable conn; rely on write errors
+	}
+	var b [1]byte
+	_, err := p.conn.Read(b[:])
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		p.conn.SetReadDeadline(time.Time{})
+		return // healthy: nothing to read yet
+	}
+	if err != nil {
+		p.disconnect(err)
+	}
 }
 
 // Connected reports whether the publisher currently holds a live
@@ -289,13 +403,21 @@ func (p *RobustPublisher) Dropped() int64 { return p.dropped }
 // error set.
 func (p *RobustPublisher) Err() error { return p.lastErr }
 
-// Close flushes best-effort and disconnects.
+// Close flushes best-effort (including any pending batch) and
+// disconnects.
 func (p *RobustPublisher) Close() error {
 	p.closed = true
 	if p.conn == nil {
 		return p.lastErr
 	}
-	flushErr := p.w.Flush()
+	var flushErr error
+	if len(p.pending) > 0 {
+		flushErr = p.writeBatch(p.pending)
+		p.pending = p.pending[:0]
+	}
+	if err := p.w.Flush(); err != nil && flushErr == nil {
+		flushErr = err
+	}
 	closeErr := p.conn.Close()
 	p.conn = nil
 	p.w = nil

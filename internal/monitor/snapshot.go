@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/topo"
@@ -21,17 +22,47 @@ import (
 //	  metric | binCount uint32 | binCount × float64 bits
 //
 // NaN gaps are stored as-is (quiet NaN bits round-trip exactly).
+// Series are written in sorted key order (scope, entity, metric), so
+// two stores with identical contents produce byte-identical snapshots —
+// the crash-recovery e2e depends on this.
 const (
 	snapshotMagic   = "FNLS"
 	snapshotVersion = 1
 )
 
-// WriteSnapshot dumps the store's full contents. The whole dump runs
-// under the read lock so it is a consistent cut even against concurrent
-// appends and prunes.
+// WriteSnapshot dumps the store's full contents in sorted key order.
+// The whole dump runs with every shard read-locked so it is a
+// consistent cut even against concurrent appends and prunes.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		defer s.shards[i].mu.RUnlock()
+	}
+	return s.writeSnapshotLocked(w)
+}
+
+// writeSnapshotLocked writes the snapshot stream. The caller holds
+// epochMu (at least for reading) and every shard lock.
+func (s *Store) writeSnapshotLocked(w io.Writer) error {
+	keys := make([]topo.KPIKey, 0, 64)
+	for i := range s.shards {
+		for k := range s.shards[i].series {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		return a.Metric < b.Metric
+	})
+
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -50,11 +81,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
-	binary.BigEndian.PutUint32(scratch[:4], uint32(len(s.series)))
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(keys)))
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return err
 	}
-	for key, buf := range s.series {
+	for _, key := range keys {
+		buf := *s.shards[s.shardIndex(key)].series[key]
 		hdr := []byte{byte(key.Scope)}
 		var err error
 		if hdr, err = appendString(hdr, key.Entity); err != nil {
@@ -82,6 +114,13 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 
 // ReadSnapshot reconstructs a Store from a snapshot stream.
 func ReadSnapshot(r io.Reader) (*Store, error) {
+	return readSnapshotShards(r, StoreShards)
+}
+
+// readSnapshotShards is ReadSnapshot into a store with the given shard
+// count (recovery reuses it so the reopened store matches the
+// configured striping).
+func readSnapshotShards(r io.Reader, shards int) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -113,7 +152,7 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	}
 	count := binary.BigEndian.Uint32(scratch[:4])
 
-	store := NewStore(start, step)
+	store := NewStoreShards(start, step, shards)
 	for i := uint32(0); i < count; i++ {
 		var b [1]byte
 		if _, err := io.ReadFull(br, b[:]); err != nil {
@@ -150,7 +189,8 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 			}
 			buf = append(buf, math.Float64frombits(binary.BigEndian.Uint64(scratch[:])))
 		}
-		store.series[topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}] = buf
+		key := topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
+		store.shardFor(key).series[key] = &buf
 	}
 	return store, nil
 }

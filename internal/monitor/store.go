@@ -1,22 +1,41 @@
 // Package monitor is the KPI collection substrate FUNNEL subscribes to.
 // It substitutes for the paper's Hadoop-based centralized database
 // (§2.2): per-server agents emit one measurement per KPI per 1-minute
-// bin, a concurrent in-memory Store keeps the binned series, and a TCP
-// push protocol (length-prefixed binary frames) delivers subscribed
+// bin, a concurrent lock-striped Store keeps the binned series, and a
+// TCP push protocol (length-prefixed binary frames) delivers subscribed
 // measurements to downstream consumers "within one second" of
-// collection, exactly as the paper's subscription tool does.
+// collection, exactly as the paper's subscription tool does. On the
+// inbound side, IngestServer accepts the same framing from remote
+// publishers, with a batch frame (0x04) that coalesces many
+// measurements per write (see Publisher.PublishBatch and
+// RobustPublisher). The store can optionally persist every append to a
+// per-shard write-ahead log with periodic compacted snapshots (see
+// OpenPersistent), so a restart replays to the exact pre-crash state.
+//
+// See ARCHITECTURE.md at the repository root for the dataflow diagram
+// and the byte-level wire-protocol reference.
 package monitor
 
 import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/topo"
 )
+
+// StoreShards is the default number of lock stripes in a Store. Keys
+// are FNV-hashed across the stripes so concurrent publishers and the
+// assessment read path do not serialize on a single mutex.
+const StoreShards = 16
+
+// maxStoreShards bounds the shard count (shard indices are tracked in
+// a byte during batch grouping).
+const maxStoreShards = 256
 
 // Measurement is one KPI sample.
 type Measurement struct {
@@ -26,16 +45,43 @@ type Measurement struct {
 }
 
 // Store is a concurrency-safe, append-mostly KPI time-series store with
-// fixed binning. Bins without a measurement read as NaN.
+// fixed binning. Bins without a measurement read as NaN. Series are
+// lock-striped across shards by FNV-1a hash of the key, so appends and
+// reads for different keys proceed in parallel; all operations on a
+// single key serialize on its shard, preserving per-key delivery order.
 type Store struct {
-	start time.Time
+	start time.Time // guarded by epochMu (Prune rebases it)
 	step  time.Duration
 
-	mu     sync.RWMutex
-	series map[topo.KPIKey][]float64
+	// epochMu orders epoch rebases (Prune, Compact) against appends
+	// and reads. Lock order: epochMu → shard.mu → subMu.
+	epochMu sync.RWMutex
+
+	shards []storeShard
+
+	subMu  sync.RWMutex
 	subs   map[int]*subscription
 	nextID int
-	obs    *obs.Collector
+	// numSubs mirrors len(subs) so the append hot path can skip the
+	// subscriber scan (and its lock round trip) when nobody listens.
+	numSubs atomic.Int32
+
+	obs atomic.Pointer[obs.Collector]
+
+	// persist is non-nil for stores opened with OpenPersistent; each
+	// shard then carries a write-ahead log (see wal.go).
+	persist *persister
+}
+
+// storeShard is one lock stripe: a mutex, the series that hash to it,
+// and (for persistent stores) the shard's write-ahead log. Series are
+// held by pointer so the append hot path hashes the key once (a lookup)
+// instead of twice (lookup plus write-back) — KPIKey hashing is the
+// single largest per-measurement cost at fleet ingest rates.
+type storeShard struct {
+	mu     sync.RWMutex
+	series map[topo.KPIKey]*[]float64
+	wal    *shardWAL
 }
 
 // subscription is one registered measurement listener.
@@ -43,50 +89,163 @@ type subscription struct {
 	ch     chan Measurement
 	filter func(topo.KPIKey) bool
 	// drops counts measurements this subscription lost because its
-	// buffer was full (guarded by the store mutex, which Append
-	// holds during delivery).
-	drops int
+	// buffer was full. Atomic: shards deliver concurrently.
+	drops atomic.Int64
+}
+
+// deliver pushes m to the subscription without blocking. A full buffer
+// evicts the oldest queued measurement to make room and retries once.
+// Every counted drop is one real loss: either a previously-queued
+// measurement that was evicted before the consumer saw it, or m itself
+// when the retry also fails.
+func (sub *subscription) deliver(m Measurement) (pushed, dropped int64) {
+	select {
+	case sub.ch <- m:
+		return 1, 0
+	default:
+	}
+	var lost int64
+	select {
+	case <-sub.ch:
+		lost++ // evicted a queued measurement the consumer never saw
+	default:
+	}
+	select {
+	case sub.ch <- m:
+		return 1, lost
+	default:
+		return 0, lost + 1 // m itself was lost too
+	}
 }
 
 // NewStore returns a store binning measurements at the given step from
-// the given epoch. Step 0 means timeseries.DefaultStep (1 minute).
+// the given epoch, striped across StoreShards shards. Step 0 means
+// timeseries.DefaultStep (1 minute).
 func NewStore(start time.Time, step time.Duration) *Store {
+	return NewStoreShards(start, step, StoreShards)
+}
+
+// NewStoreShards is NewStore with an explicit shard count, clamped to
+// [1, 256]. One shard reproduces the old single-mutex store (useful as
+// a contention baseline in benchmarks); more shards let concurrent
+// publishers and readers proceed in parallel.
+func NewStoreShards(start time.Time, step time.Duration, shards int) *Store {
 	if step <= 0 {
 		step = timeseries.DefaultStep
 	}
-	return &Store{
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxStoreShards {
+		shards = maxStoreShards
+	}
+	s := &Store{
 		start:  start,
 		step:   step,
-		series: make(map[topo.KPIKey][]float64),
+		shards: make([]storeShard, shards),
 		subs:   make(map[int]*subscription),
 	}
+	for i := range s.shards {
+		s.shards[i].series = make(map[topo.KPIKey]*[]float64)
+	}
+	return s
+}
+
+// Shards returns the number of lock stripes.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardIndex maps a key to its stripe by FNV-1a over scope, entity and
+// metric (with a NUL separator, mirroring KPIKey.String uniqueness).
+func (s *Store) shardIndex(key topo.KPIKey) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(key.Scope)) * prime32
+	for i := 0; i < len(key.Entity); i++ {
+		h = (h ^ uint32(key.Entity[i])) * prime32
+	}
+	h = (h ^ 0) * prime32
+	for i := 0; i < len(key.Metric); i++ {
+		h = (h ^ uint32(key.Metric[i])) * prime32
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// shardFor returns the stripe owning key.
+func (s *Store) shardFor(key topo.KPIKey) *storeShard {
+	return &s.shards[s.shardIndex(key)]
 }
 
 // SetCollector attaches a telemetry collector. Ingest counts, delivery
-// pushes and slow-subscriber drops are reported to it. A nil collector
-// (the default) keeps every hook a no-op.
+// pushes, slow-subscriber drops and WAL activity are reported to it. A
+// nil collector (the default) keeps every hook a no-op.
 func (s *Store) SetCollector(c *obs.Collector) {
-	s.mu.Lock()
-	s.obs = c
-	s.mu.Unlock()
+	s.obs.Store(c)
 }
 
 // Collector returns the attached telemetry collector (possibly nil).
 func (s *Store) Collector() *obs.Collector {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.obs
+	return s.obs.Load()
 }
 
 // Start returns the store's epoch (which Prune advances).
 func (s *Store) Start() time.Time {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
 	return s.start
 }
 
 // Step returns the bin width.
 func (s *Store) Step() time.Duration { return s.step }
+
+// applyLocked records m into sh (whose mutex the caller holds, along
+// with epochMu.RLock) and delivers it to matching subscribers. It
+// returns delivery counts and whether the measurement was stored
+// (pre-epoch measurements are dropped).
+func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement) (pushes, drops int64, stored bool) {
+	if m.T.Before(start) {
+		return 0, 0, false
+	}
+	idx := int(m.T.Sub(start) / s.step)
+	bp := sh.series[m.Key]
+	if bp == nil {
+		bp = new([]float64)
+		sh.series[m.Key] = bp
+	}
+	buf := *bp
+	for len(buf) <= idx {
+		buf = append(buf, math.NaN())
+	}
+	buf[idx] = m.V
+	*bp = buf
+	if sh.wal != nil {
+		sh.wal.appendLocked(m)
+	}
+	if s.numSubs.Load() == 0 {
+		return 0, 0, true // fast path: nobody listening, skip the scan
+	}
+	// Deliver while still holding the shard lock so measurements for
+	// one key reach each subscriber in append order.
+	s.subMu.RLock()
+	for _, sub := range s.subs {
+		if sub.filter != nil && !sub.filter(m.Key) {
+			continue
+		}
+		p, d := sub.deliver(m)
+		pushes += p
+		drops += d
+		if d > 0 {
+			sub.drops.Add(d)
+		}
+	}
+	s.subMu.RUnlock()
+	return pushes, drops, true
+}
 
 // Append records a measurement, growing the key's series as needed
 // (intermediate bins are NaN). Measurements before the epoch are
@@ -96,48 +255,128 @@ func (s *Store) Step() time.Duration { return s.step }
 // than its buffer loses the oldest deliveries rather than blocking the
 // ingest path.
 func (s *Store) Append(m Measurement) {
-	s.mu.Lock()
-	if m.T.Before(s.start) {
-		s.mu.Unlock()
+	s.epochMu.RLock()
+	start := s.start
+	sh := s.shardFor(m.Key)
+	sh.mu.Lock()
+	pushes, drops, stored := s.applyLocked(sh, start, m)
+	if sh.wal != nil && stored {
+		sh.wal.flushLocked()
+	}
+	sh.mu.Unlock()
+	s.epochMu.RUnlock()
+	if !stored {
 		return
 	}
-	idx := int(m.T.Sub(s.start) / s.step)
-	buf := s.series[m.Key]
-	for len(buf) <= idx {
-		buf = append(buf, math.NaN())
-	}
-	buf[idx] = m.V
-	s.series[m.Key] = buf
-	var pushes, drops int64
-	// Deliver to subscribers under the read of subs; the channel sends
-	// are non-blocking.
-	for _, sub := range s.subs {
-		if sub.filter != nil && !sub.filter(m.Key) {
-			continue
-		}
-		select {
-		case sub.ch <- m:
-			pushes++
-		default:
-			// Drop-oldest: make room and retry once. Either way a
-			// measurement was lost on this subscription — the evicted
-			// one or, if the buffer refilled underneath us, this one.
-			sub.drops++
-			drops++
-			select {
-			case <-sub.ch:
-			default:
-			}
-			select {
-			case sub.ch <- m:
-				pushes++
-			default:
-			}
-		}
-	}
-	col := s.obs
-	s.mu.Unlock()
+	col := s.obs.Load()
 	col.Add(obs.CtrIngested, 1)
+	col.Add(obs.CtrPushes, pushes)
+	col.Add(obs.CtrPushDrops, drops)
+}
+
+// batchScratch pools AppendBatch's shard-grouping scratch so the hot
+// ingest path does not allocate per batch.
+var batchScratch = sync.Pool{New: func() any { return new(batchScratchBuf) }}
+
+// batchScratchBuf is the pooled grouping workspace: per-measurement
+// shard indices and the counting-sorted order.
+type batchScratchBuf struct {
+	idx   []uint8
+	order []int32
+}
+
+// grow resizes the workspace for a batch of n measurements.
+func (b *batchScratchBuf) grow(n int) {
+	if cap(b.idx) < n {
+		b.idx = make([]uint8, n)
+		b.order = make([]int32, n)
+	}
+	b.idx = b.idx[:n]
+	b.order = b.order[:n]
+}
+
+// AppendBatch records many measurements, grouping them by shard so each
+// stripe is locked once per batch (and, for persistent stores, its WAL
+// flushed once per batch). Semantics per measurement are identical to
+// Append; measurements for the same key keep their slice order.
+func (s *Store) AppendBatch(ms []Measurement) {
+	if len(ms) == 0 {
+		return
+	}
+	if len(ms) == 1 {
+		s.Append(ms[0])
+		return
+	}
+	s.epochMu.RLock()
+	start := s.start
+	var pushes, drops, ingested int64
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		for i := range ms {
+			p, d, ok := s.applyLocked(sh, start, ms[i])
+			pushes += p
+			drops += d
+			if ok {
+				ingested++
+			}
+		}
+		if sh.wal != nil {
+			sh.wal.flushLocked()
+		}
+		sh.mu.Unlock()
+	} else {
+		// Counting-sort the batch by shard so each stripe is visited
+		// once over a contiguous run of its measurements — two cheap
+		// passes instead of a full batch scan per shard. Within a shard
+		// the original slice order is preserved, keeping per-key
+		// delivery order.
+		scratch := batchScratch.Get().(*batchScratchBuf)
+		scratch.grow(len(ms))
+		idx := scratch.idx
+		var counts [maxStoreShards]int32
+		for i := range ms {
+			si := uint8(s.shardIndex(ms[i].Key))
+			idx[i] = si
+			counts[si]++
+		}
+		var offsets [maxStoreShards]int32
+		var sum int32
+		for si := range s.shards {
+			offsets[si] = sum
+			sum += counts[si]
+		}
+		order := scratch.order
+		next := offsets
+		for i := range ms {
+			order[next[idx[i]]] = int32(i)
+			next[idx[i]]++
+		}
+		for si := range s.shards {
+			lo, hi := offsets[si], offsets[si]+counts[si]
+			if lo == hi {
+				continue
+			}
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			for _, i := range order[lo:hi] {
+				p, d, ok := s.applyLocked(sh, start, ms[i])
+				pushes += p
+				drops += d
+				if ok {
+					ingested++
+				}
+			}
+			if sh.wal != nil {
+				sh.wal.flushLocked()
+			}
+			sh.mu.Unlock()
+		}
+		batchScratch.Put(scratch)
+	}
+	s.epochMu.RUnlock()
+	col := s.obs.Load()
+	col.Add(obs.CtrIngested, ingested)
 	col.Add(obs.CtrPushes, pushes)
 	col.Add(obs.CtrPushDrops, drops)
 }
@@ -146,15 +385,18 @@ func (s *Store) Append(m Measurement) {
 // through the last appended bin, and whether the key exists. Gaps are
 // NaN; callers typically FillGaps before analysis.
 func (s *Store) Series(key topo.KPIKey) (*timeseries.Series, bool) {
-	s.mu.RLock()
+	s.epochMu.RLock()
 	start := s.start
-	buf, ok := s.series[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	bp, ok := sh.series[key]
 	var cp []float64
 	if ok {
-		cp = make([]float64, len(buf))
-		copy(cp, buf)
+		cp = make([]float64, len(*bp))
+		copy(cp, *bp)
 	}
-	s.mu.RUnlock()
+	sh.mu.RUnlock()
+	s.epochMu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -188,20 +430,37 @@ func (s *Store) Range(key topo.KPIKey, from, to time.Time) (*timeseries.Series, 
 
 // Keys returns every stored KPI key, in unspecified order.
 func (s *Store) Keys() []topo.KPIKey {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]topo.KPIKey, 0, len(s.series))
-	for k := range s.series {
-		out = append(out, k)
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	out := make([]topo.KPIKey, 0, s.lenLocked())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.series {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
+// lenLocked sums series counts across shards (caller holds epochMu).
+func (s *Store) lenLocked() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // Len returns the number of stored series.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.series)
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	return s.lenLocked()
 }
 
 // Prune drops all bins before the given time, advancing the store's
@@ -209,27 +468,40 @@ func (s *Store) Len() int {
 // to bound memory at (history window) × (KPI count): the paper's
 // seasonal DiD needs 30 days of baseline (§3.2.5), so a deployment
 // prunes to now − 31 days once per day. Pruning to a time at or before
-// the current epoch is a no-op.
+// the current epoch is a no-op. On a persistent store a prune schedules
+// a compaction, so the dropped bins also leave the on-disk logs.
 func (s *Store) Prune(before time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.epochMu.Lock()
 	if !before.After(s.start) {
+		s.epochMu.Unlock()
 		return
 	}
 	drop := int(before.Sub(s.start) / s.step)
 	if drop <= 0 {
+		s.epochMu.Unlock()
 		return
 	}
-	for key, buf := range s.series {
-		if drop >= len(buf) {
-			delete(s.series, key)
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, bp := range sh.series {
+			buf := *bp
+			if drop >= len(buf) {
+				delete(sh.series, key)
+				continue
+			}
+			kept := make([]float64, len(buf)-drop)
+			copy(kept, buf[drop:])
+			*bp = kept
 		}
-		kept := make([]float64, len(buf)-drop)
-		copy(kept, buf[drop:])
-		s.series[key] = kept
+		sh.mu.Unlock()
 	}
 	s.start = s.start.Add(time.Duration(drop) * s.step)
+	p := s.persist
+	s.epochMu.Unlock()
+	if p != nil {
+		p.requestCompact()
+	}
 }
 
 // Stats summarizes a store for introspection and capacity planning.
@@ -249,14 +521,20 @@ type Stats struct {
 
 // Stats returns a snapshot of the store's size.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{SeriesCount: len(s.series), Start: s.start, LastBin: -1}
-	for _, buf := range s.series {
-		st.Bins += len(buf)
-		if len(buf)-1 > st.LastBin {
-			st.LastBin = len(buf) - 1
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	st := Stats{Start: s.start, LastBin: -1}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.SeriesCount += len(sh.series)
+		for _, bp := range sh.series {
+			st.Bins += len(*bp)
+			if len(*bp)-1 > st.LastBin {
+				st.LastBin = len(*bp) - 1
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	st.ApproxBytes = int64(st.Bins) * 8
 	return st
@@ -269,28 +547,35 @@ func (s *Store) Stats() Stats {
 // resuming subscriber replays from its last-seen low-water mark and
 // dedups the overlap by (key, bin).
 func (s *Store) ReplaySince(filter func(topo.KPIKey) bool, since time.Time) []Measurement {
-	s.mu.RLock()
-	var out []Measurement
+	s.epochMu.RLock()
+	start := s.start
 	lo := 0
-	if since.After(s.start) {
-		lo = int(since.Sub(s.start) / s.step)
+	if since.After(start) {
+		lo = int(since.Sub(start) / s.step)
 	}
-	for key, buf := range s.series {
-		if filter != nil && !filter(key) {
-			continue
-		}
-		for i := lo; i < len(buf); i++ {
-			if math.IsNaN(buf[i]) {
+	var out []Measurement
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for key, bp := range sh.series {
+			if filter != nil && !filter(key) {
 				continue
 			}
-			t := s.start.Add(time.Duration(i) * s.step)
-			if t.Before(since) {
-				continue
+			buf := *bp
+			for i := lo; i < len(buf); i++ {
+				if math.IsNaN(buf[i]) {
+					continue
+				}
+				t := start.Add(time.Duration(i) * s.step)
+				if t.Before(since) {
+					continue
+				}
+				out = append(out, Measurement{Key: key, T: t, V: buf[i]})
 			}
-			out = append(out, Measurement{Key: key, T: t, V: buf[i]})
 		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
+	s.epochMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].T.Before(out[j].T) })
 	return out
 }
@@ -299,8 +584,8 @@ func (s *Store) ReplaySince(filter func(topo.KPIKey) bool, since time.Time) []Me
 // that must not race ahead of late-binding consumers (e.g. a TCP
 // subscriber whose subscribe frame is still in flight) can wait on it.
 func (s *Store) Subscribers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
 	return len(s.subs)
 }
 
@@ -316,22 +601,27 @@ func (s *Store) Subscribe(filter func(topo.KPIKey) bool, buffer int) (ch <-chan 
 		buffer = 1
 	}
 	sub := &subscription{ch: make(chan Measurement, buffer), filter: filter}
-	s.mu.Lock()
+	s.subMu.Lock()
 	id := s.nextID
 	s.nextID++
 	s.subs[id] = sub
-	s.obs.Add(obs.CtrSubsActive, 1)
-	s.mu.Unlock()
+	s.numSubs.Store(int32(len(s.subs)))
+	s.subMu.Unlock()
+	s.obs.Load().Add(obs.CtrSubsActive, 1)
 	var once sync.Once
 	var dropped int
 	return sub.ch, func() int {
 		once.Do(func() {
-			s.mu.Lock()
+			// Delete and close under the write lock: once it is held no
+			// shard can be mid-delivery on this subscription, so the
+			// close cannot race a send.
+			s.subMu.Lock()
 			delete(s.subs, id)
-			dropped = sub.drops
-			s.obs.Add(obs.CtrSubsActive, -1)
-			s.mu.Unlock()
+			s.numSubs.Store(int32(len(s.subs)))
+			dropped = int(sub.drops.Load())
 			close(sub.ch)
+			s.subMu.Unlock()
+			s.obs.Load().Add(obs.CtrSubsActive, -1)
 		})
 		return dropped
 	}

@@ -1,0 +1,731 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Write-ahead persistence: a Store opened with OpenPersistent logs
+// every stored measurement to a per-shard append-only file before the
+// ingest path returns, and periodically compacts the logs into a
+// snapshot. A crashed funnelserve reopens the directory and replays
+// snapshot + logs back to the exact pre-crash store; composed with the
+// subscribe-since watermarks (frame 0x03) downstream consumers resume
+// with no loss end to end.
+//
+// On-disk layout inside the data directory:
+//
+//	snapshot.fnls — latest compacted snapshot (the Store snapshot
+//	  format, written atomically via rename)
+//	wal-<shard>.log — live shard logs
+//	wal-<shard>.old — pre-rotation logs, present only while a
+//	  compaction is in flight (or after one crashed mid-way)
+//
+// Each log starts with a header:
+//
+//	magic "FNLW" | version uint16 | startUnixNano int64 |
+//	stepNanos int64
+//
+// followed by records:
+//
+//	payloadLen uint32 | payload | crc32(payload) uint32
+//
+// where payload is one or more concatenated measurement bodies shared
+// with the 0x01/0x04 wire frames (absolute timestamps, so records stay
+// valid across epoch rebases). Measurements logged between two flushes
+// share one group record — one length prefix, one CRC, one write —
+// so batched ingest pays the record overhead per shard-batch rather
+// than per measurement. A torn final record — the only damage a
+// process kill can inflict on an append-only log — fails its length or
+// CRC check and is discarded; everything before it replays.
+//
+// Recovery order is snapshot, then wal-*.old, then wal-*.log. Replay
+// is idempotent: the store overwrites by (key, bin), so records already
+// captured in the snapshot (a compaction that crashed between rename
+// and .old cleanup) change nothing. After replay the store compacts
+// synchronously, so a freshly opened directory always holds one
+// snapshot and empty logs.
+const (
+	walMagic   = "FNLW"
+	walVersion = 1
+
+	snapshotFile    = "snapshot.fnls"
+	snapshotTmpFile = "snapshot.tmp"
+	walPrefix       = "wal-"
+	walLiveSuffix   = ".log"
+	walOldSuffix    = ".old"
+)
+
+// DefaultCompactBytes is the total live-log size that triggers a
+// background compaction.
+const DefaultCompactBytes = 64 << 20
+
+// DefaultSyncInterval is the background fsync cadence for shard logs.
+// Between fsyncs, records are already in the OS page cache (flushed on
+// every append/batch), so a process kill loses nothing; the interval
+// only bounds loss on a whole-machine crash.
+const DefaultSyncInterval = time.Second
+
+// PersistOptions tunes OpenPersistent. The zero value takes the
+// documented defaults.
+type PersistOptions struct {
+	// Shards is the store's lock-stripe count (default StoreShards).
+	Shards int
+	// CompactBytes triggers a background compaction once the live logs
+	// grow past it in total (default DefaultCompactBytes; negative
+	// disables automatic compaction — Compact can still be called).
+	CompactBytes int64
+	// SyncInterval is the background fsync cadence (default
+	// DefaultSyncInterval; negative disables the background pass —
+	// Sync can still be called).
+	SyncInterval time.Duration
+}
+
+// withDefaults resolves the zero-value conventions.
+func (o PersistOptions) withDefaults() PersistOptions {
+	if o.Shards == 0 {
+		o.Shards = StoreShards
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = DefaultCompactBytes
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	return o
+}
+
+// RecoveryStats reports what OpenPersistent rebuilt from disk.
+type RecoveryStats struct {
+	// SnapshotSeries is the number of series loaded from the snapshot.
+	SnapshotSeries int
+	// WALRecords is the number of logged measurements replayed on top
+	// of it.
+	WALRecords int
+	// TornTails is the number of logs whose final record was torn by
+	// the crash and discarded (earlier records still replay).
+	TornTails int
+}
+
+// persister owns the on-disk state of a persistent store: the shard
+// logs (reached via each shard's wal field), the snapshot, and the
+// background sync/compact goroutine.
+type persister struct {
+	dir   string
+	opts  PersistOptions
+	store *Store
+
+	walBytes atomic.Int64 // live-log bytes since the last compaction
+	firstErr atomic.Pointer[error]
+
+	compactMu  sync.Mutex // one compaction at a time
+	compactReq chan struct{}
+	quit       chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
+
+	recovered RecoveryStats
+}
+
+// shardWAL is one shard's append-only log. All methods suffixed Locked
+// require the owning shard's mutex.
+type shardWAL struct {
+	p    *persister
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// rec accumulates the measurement bodies of the group record in
+	// progress; emitLocked seals it with a length prefix and CRC.
+	rec []byte
+	// pendingAppends counts measurements buffered since the last flush,
+	// for telemetry (guarded by the shard mutex like the rest).
+	pendingAppends int64
+}
+
+// walGroupCap bounds one group record's payload; a run that outgrows
+// it is sealed and a fresh record started, keeping records well under
+// the replay side's length sanity cap.
+const walGroupCap = 32 << 10
+
+// maxWALRecord is the replay-side length sanity cap: a record may
+// overshoot walGroupCap by at most one maximal measurement body
+// (direct Append callers are not bound by the wire frame cap).
+const maxWALRecord = walGroupCap + 1 + 2 + 65535 + 2 + 65535 + 16
+
+// fail records the persister's first disk error. The store stays
+// usable in memory; Sync/Compact/Close surface the error and automatic
+// compaction stops (rotation must not run on a half-written log set).
+func (p *persister) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.firstErr.CompareAndSwap(nil, &err)
+}
+
+// err returns the first recorded disk error, if any.
+func (p *persister) err() error {
+	if e := p.firstErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// appendLocked adds m's body to the group record in progress. The
+// record is sealed by the flush that acknowledges the append (or when
+// it outgrows walGroupCap), so measurements from one batch share a
+// single length prefix, CRC and write.
+func (w *shardWAL) appendLocked(m Measurement) {
+	rec, err := appendMeasurementBody(w.rec, m)
+	if err != nil {
+		w.p.fail(err)
+		return
+	}
+	w.rec = rec
+	w.pendingAppends++
+	if len(w.rec) >= walGroupCap {
+		w.emitLocked()
+	}
+}
+
+// emitLocked seals the pending group record — length prefix, payload,
+// CRC — into the buffered writer.
+func (w *shardWAL) emitLocked() {
+	if len(w.rec) == 0 {
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(w.rec)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.p.fail(err)
+		w.rec = w.rec[:0]
+		return
+	}
+	if _, err := w.w.Write(w.rec); err != nil {
+		w.p.fail(err)
+		w.rec = w.rec[:0]
+		return
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.rec))
+	if _, err := w.w.Write(crc[:]); err != nil {
+		w.p.fail(err)
+		w.rec = w.rec[:0]
+		return
+	}
+	w.p.walBytes.Add(int64(len(w.rec)) + 8)
+	w.rec = w.rec[:0]
+}
+
+// flushLocked seals the pending record and pushes it to the OS (one
+// write syscall per append or shard-batch), so a process kill cannot
+// lose an acknowledged measurement. Durability against machine crashes
+// comes from the periodic fsync pass.
+func (w *shardWAL) flushLocked() {
+	w.emitLocked()
+	if err := w.w.Flush(); err != nil {
+		w.p.fail(err)
+	}
+	if n := w.pendingAppends; n > 0 {
+		w.pendingAppends = 0
+		w.p.store.obs.Load().Add(obs.CtrWALAppends, n)
+	}
+	if p := w.p; p.opts.CompactBytes > 0 && p.walBytes.Load() >= p.opts.CompactBytes {
+		p.requestCompact()
+	}
+}
+
+// syncLocked seals, flushes and fsyncs the log file.
+func (w *shardWAL) syncLocked() {
+	w.emitLocked()
+	if err := w.w.Flush(); err != nil {
+		w.p.fail(err)
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.p.fail(err)
+	}
+}
+
+// closeLocked seals, flushes, fsyncs and closes the log file.
+func (w *shardWAL) closeLocked() error {
+	w.emitLocked()
+	flushErr := w.w.Flush()
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// createShardWAL creates (truncating) a shard log and writes its
+// header.
+func createShardWAL(p *persister, shard int, start time.Time, step time.Duration) (*shardWAL, error) {
+	path := filepath.Join(p.dir, fmt.Sprintf("%s%d%s", walPrefix, shard, walLiveSuffix))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &shardWAL{p: p, path: path, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	hdr := append([]byte(walMagic), 0, 0)
+	binary.BigEndian.PutUint16(hdr[4:6], walVersion)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(start.UnixNano()))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(step))
+	if _, err := w.w.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenPersistent opens (or creates) a persistent store backed by dir.
+// An existing directory is recovered: snapshot first, then shard logs
+// (rotated ones before live ones), tolerating a torn final record per
+// log. start and step apply only to a fresh directory; recovered state
+// keeps its own epoch, and a non-zero step that contradicts the
+// recovered one is an error. The store must be released with Close.
+func OpenPersistent(dir string, start time.Time, step time.Duration, opts PersistOptions) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &persister{
+		dir:        dir,
+		opts:       opts,
+		compactReq: make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+
+	// Phase 1: snapshot.
+	var store *Store
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		store, err = readSnapshotShards(f, opts.Shards)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("monitor: recovering snapshot: %w", err)
+		}
+		p.recovered.SnapshotSeries = store.Len()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	// Phase 2: shard logs. Rotated (.old) logs predate the live ones,
+	// so they replay first; within a generation file order is
+	// irrelevant (shards hold disjoint keys).
+	oldLogs, liveLogs, err := listWALs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, group := range [][]string{oldLogs, liveLogs} {
+		for _, path := range group {
+			st, err := replayWAL(path, store, start, step, opts.Shards, &p.recovered)
+			if err != nil {
+				return nil, err
+			}
+			store = st
+		}
+	}
+	if store == nil {
+		store = NewStoreShards(start, step, opts.Shards)
+	}
+	if step > 0 && store.step != step {
+		return nil, fmt.Errorf("monitor: step mismatch: store has %v, caller wants %v", store.step, step)
+	}
+
+	// Phase 3: attach fresh logs and compact synchronously, so the
+	// directory is always left as one snapshot + empty logs and any
+	// stale .old files are consumed exactly once.
+	store.persist = p
+	p.store = store
+	if err := p.initDisk(); err != nil {
+		return nil, err
+	}
+
+	go p.run()
+	return store, nil
+}
+
+// listWALs returns the rotated and live shard logs in dir, each group
+// sorted by name.
+func listWALs(dir string) (oldLogs, liveLogs []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, walPrefix) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, walOldSuffix):
+			oldLogs = append(oldLogs, filepath.Join(dir, name))
+		case strings.HasSuffix(name, walLiveSuffix):
+			liveLogs = append(liveLogs, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(oldLogs)
+	sort.Strings(liveLogs)
+	return oldLogs, liveLogs, nil
+}
+
+// replayWAL replays one shard log into store, creating the store from
+// the log's header epoch if it does not exist yet. Torn tails are
+// counted and ignored; corruption before the tail is an error (an
+// append-only log cannot be damaged mid-file by a crash).
+func replayWAL(path string, store *Store, start time.Time, step time.Duration, shards int, stats *RecoveryStats) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return store, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	hdr := make([]byte, len(walMagic)+2+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Killed before the header flush: an empty log, nothing to
+			// replay.
+			return store, nil
+		}
+		return store, err
+	}
+	if string(hdr[:len(walMagic)]) != walMagic {
+		return store, fmt.Errorf("monitor: bad WAL magic in %s", path)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != walVersion {
+		return store, fmt.Errorf("monitor: unsupported WAL version %d in %s", v, path)
+	}
+	hdrStart := time.Unix(0, int64(binary.BigEndian.Uint64(hdr[6:14]))).UTC()
+	hdrStep := time.Duration(binary.BigEndian.Uint64(hdr[14:22]))
+	if hdrStep <= 0 {
+		return store, fmt.Errorf("monitor: bad WAL step %v in %s", hdrStep, path)
+	}
+	if store == nil {
+		// No snapshot: the oldest log's header carries the epoch.
+		if step > 0 && hdrStep != step {
+			return store, fmt.Errorf("monitor: step mismatch: WAL has %v, caller wants %v", hdrStep, step)
+		}
+		store = NewStoreShards(hdrStart, hdrStep, shards)
+	}
+
+	cache := NewKeyCache()
+	var lenBuf [4]byte
+	payload := make([]byte, 0, 256)
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return store, nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				stats.TornTails++
+				return store, nil
+			}
+			return store, err
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxWALRecord {
+			// A garbage length can only be a torn tail (partial length
+			// word from a crashed append).
+			stats.TornTails++
+			return store, nil
+		}
+		if cap(payload) < int(n)+4 {
+			payload = make([]byte, 0, int(n)+4)
+		}
+		payload = payload[:int(n)+4]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				stats.TornTails++
+				return store, nil
+			}
+			return store, err
+		}
+		body, crcBytes := payload[:n], payload[n:]
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
+			stats.TornTails++
+			return store, nil
+		}
+		// A group record carries the measurement bodies of one flush
+		// group, back to back.
+		for len(body) > 0 {
+			m, rest, err := decodeMeasurementBody(body, cache)
+			if err != nil {
+				stats.TornTails++
+				return store, nil
+			}
+			store.Append(m)
+			stats.WALRecords++
+			body = rest
+		}
+	}
+}
+
+// initDisk gives every shard a fresh live log and compacts, leaving
+// the directory as one snapshot plus empty logs.
+func (p *persister) initDisk() error {
+	s := p.store
+	for i := range s.shards {
+		w, err := createShardWAL(p, i, s.start, s.step)
+		if err != nil {
+			return err
+		}
+		s.shards[i].wal = w
+	}
+	return p.compact()
+}
+
+// run is the background maintenance loop: periodic fsync plus
+// requested compactions.
+func (p *persister) run() {
+	defer close(p.done)
+	var tick <-chan time.Time
+	if p.opts.SyncInterval > 0 {
+		t := time.NewTicker(p.opts.SyncInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.compactReq:
+			p.compact()
+		case <-tick:
+			p.syncAll()
+		}
+	}
+}
+
+// requestCompact schedules a background compaction (at most one
+// outstanding request).
+func (p *persister) requestCompact() {
+	select {
+	case p.compactReq <- struct{}{}:
+	default:
+	}
+}
+
+// syncAll fsyncs every shard log.
+func (p *persister) syncAll() {
+	s := p.store
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.wal != nil {
+			sh.wal.syncLocked()
+		}
+		sh.mu.Unlock()
+	}
+	s.obs.Load().Add(obs.CtrWALSyncs, 1)
+}
+
+// compact rotates every shard log aside, dumps a consistent snapshot
+// of the whole store, atomically installs it, and deletes the rotated
+// logs. A crash at any point leaves a directory that recovers to the
+// same store: before the snapshot rename the old snapshot plus rotated
+// logs cover everything; after it the rotated logs replay
+// idempotently.
+func (p *persister) compact() error {
+	p.compactMu.Lock()
+	defer p.compactMu.Unlock()
+	if err := p.err(); err != nil {
+		return err
+	}
+	s := p.store
+
+	s.epochMu.RLock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	// Rotate: close each live log, move it aside, start a fresh one at
+	// the current epoch.
+	rotateErr := func() error {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if sh.wal == nil {
+				continue
+			}
+			if err := sh.wal.closeLocked(); err != nil {
+				return err
+			}
+			oldPath := strings.TrimSuffix(sh.wal.path, walLiveSuffix) + walOldSuffix
+			if err := os.Rename(sh.wal.path, oldPath); err != nil {
+				return err
+			}
+			w, err := createShardWAL(p, i, s.start, s.step)
+			if err != nil {
+				return err
+			}
+			sh.wal = w
+		}
+		return nil
+	}()
+	var snapErr error
+	var tmp *os.File
+	tmpPath := filepath.Join(p.dir, snapshotTmpFile)
+	if rotateErr == nil {
+		tmp, snapErr = os.Create(tmpPath)
+		if snapErr == nil {
+			snapErr = s.writeSnapshotLocked(tmp)
+		}
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	s.epochMu.RUnlock()
+
+	if rotateErr != nil {
+		p.fail(rotateErr)
+		return rotateErr
+	}
+	if snapErr == nil {
+		snapErr = tmp.Sync()
+	}
+	if tmp != nil {
+		if err := tmp.Close(); err != nil && snapErr == nil {
+			snapErr = err
+		}
+	}
+	if snapErr == nil {
+		snapErr = os.Rename(tmpPath, filepath.Join(p.dir, snapshotFile))
+	}
+	if snapErr != nil {
+		os.Remove(tmpPath)
+		p.fail(snapErr)
+		return snapErr
+	}
+	if err := syncDir(p.dir); err != nil {
+		p.fail(err)
+		return err
+	}
+	// The snapshot now covers everything the rotated logs held.
+	oldLogs, _, err := listWALs(p.dir)
+	if err == nil {
+		for _, path := range oldLogs {
+			if rmErr := os.Remove(path); rmErr != nil && err == nil {
+				err = rmErr
+			}
+		}
+	}
+	if err != nil {
+		p.fail(err)
+		return err
+	}
+	p.walBytes.Store(0)
+	s.obs.Load().Add(obs.CtrCompactions, 1)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a machine
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// close stops the background loop, flushes and fsyncs every log, and
+// closes the files.
+func (p *persister) close() error {
+	p.closeOnce.Do(func() {
+		close(p.quit)
+		<-p.done
+		s := p.store
+		var firstErr error
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			if sh.wal != nil {
+				if err := sh.wal.closeLocked(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				sh.wal = nil
+			}
+			sh.mu.Unlock()
+		}
+		if firstErr == nil {
+			firstErr = p.err()
+		}
+		p.closeErr = firstErr
+	})
+	return p.closeErr
+}
+
+// ErrNotPersistent marks persistence operations invoked on an
+// in-memory store.
+var ErrNotPersistent = errors.New("monitor: store is not persistent")
+
+// Persistent reports whether the store was opened with OpenPersistent.
+func (s *Store) Persistent() bool { return s.persist != nil }
+
+// Recovered returns what OpenPersistent rebuilt from disk (zero for a
+// fresh directory or an in-memory store).
+func (s *Store) Recovered() RecoveryStats {
+	if s.persist == nil {
+		return RecoveryStats{}
+	}
+	return s.persist.recovered
+}
+
+// Sync flushes and fsyncs every shard log. In-memory stores return
+// ErrNotPersistent.
+func (s *Store) Sync() error {
+	if s.persist == nil {
+		return ErrNotPersistent
+	}
+	s.persist.syncAll()
+	return s.persist.err()
+}
+
+// Compact rotates the shard logs into a fresh snapshot and truncates
+// them. The background loop calls it automatically once the logs grow
+// past PersistOptions.CompactBytes; exposing it lets operators compact
+// on demand (e.g. right after a Prune). In-memory stores return
+// ErrNotPersistent.
+func (s *Store) Compact() error {
+	if s.persist == nil {
+		return ErrNotPersistent
+	}
+	return s.persist.compact()
+}
+
+// Close releases the store's persistence resources (background loop,
+// shard logs), flushing and fsyncing first. It is a no-op on in-memory
+// stores and safe to call twice.
+func (s *Store) Close() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.close()
+}

@@ -107,6 +107,20 @@ const (
 	// CtrInconclusive counts per-KPI assessments that came back
 	// inconclusive because the feed was too gappy or stale.
 	CtrInconclusive = "assess.kpis_inconclusive"
+	// CtrBatchFrames counts batch (0x04) ingest frames decoded; each
+	// frame carries many measurements (those land in CtrIngested).
+	CtrBatchFrames = "monitor.batch_frames"
+	// CtrWALAppends counts measurements appended to shard write-ahead
+	// logs.
+	CtrWALAppends = "monitor.wal_appends"
+	// CtrWALReplayed counts WAL records replayed into the store during
+	// crash recovery.
+	CtrWALReplayed = "monitor.wal_replayed"
+	// CtrCompactions counts WAL compactions (snapshot dump + log
+	// truncation).
+	CtrCompactions = "monitor.compactions"
+	// CtrWALSyncs counts explicit fsync passes over the shard logs.
+	CtrWALSyncs = "monitor.wal_syncs"
 )
 
 // Collector aggregates counters, stage histograms and recent traces.

@@ -1,0 +1,197 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/detect"
+	"repro/internal/funnel"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenReport hand-builds a fully deterministic report exercising
+// every verdict branch the renderers distinguish: attributed changes
+// (concurrent and historical controls, with and without a pre-trend
+// warning), a confounder exclusion, an inconclusive gappy feed, a
+// quiet KPI, and a per-KPI processing error.
+func goldenReport() *funnel.Report {
+	at := time.Date(2015, 12, 3, 12, 0, 0, 0, time.UTC)
+	key := func(scope topo.Scope, entity, metric string) topo.KPIKey {
+		return topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
+	}
+	trace := &obs.Trace{ChangeID: "chg-42", Service: "search.web", At: at, Nanos: 2_345_000}
+	kt := &obs.KPITrace{
+		Key: "server/srv-0/rt.delay", Score: 9.31, Kind: "level-shift-up",
+		Control: "concurrent", Alpha: 27.1, TStat: 41.2, Verdict: "changed-by-software",
+	}
+	kt.Stages = []obs.StageTiming{
+		{Stage: "sst_score", Nanos: 1_520_000},
+		{Stage: "persist", Nanos: 8_000},
+		{Stage: "did_estimate", Nanos: 112_000},
+	}
+	trace.Add(kt)
+	trace.Add(&obs.KPITrace{Key: "server/srv-0/pv.count", Verdict: "no-change"})
+	trace.Add(&obs.KPITrace{Key: "server/srv-1/disk.io", Verdict: "inconclusive", GapFraction: 0.42})
+
+	return &funnel.Report{
+		Change: changelog.Change{
+			ID: "chg-42", Type: changelog.Upgrade, Service: "search.web",
+			Servers: []string{"srv-0", "srv-1"}, At: at, Description: "v2 rollout",
+		},
+		Set: &topo.ImpactSet{
+			ChangedService: "search.web",
+			TServers:       []string{"srv-0", "srv-1"},
+			CServers:       []string{"srv-2", "srv-3", "srv-4"},
+			TInstances:     []string{"search.web@srv-0", "search.web@srv-1"},
+			CInstances:     []string{"search.web@srv-2"},
+			AffectedServices: []string{
+				"search.frontend",
+			},
+		},
+		ChangeBin: 4320,
+		Assessments: []funnel.Assessment{
+			{
+				Key:     key(topo.ScopeServer, "srv-0", "rt.delay"),
+				Verdict: funnel.ChangedBySoftware,
+				Detection: detect.Detection{
+					Start: 4323, DeclaredAt: 4329, AvailableAt: 4334, End: 4380,
+					Peak: 9.31, Kind: detect.LevelShiftUp,
+				},
+				Alpha: 27.1, TStat: 41.2, ControlKind: funnel.ControlConcurrent,
+				ControlSimilarity: 0.97,
+			},
+			{
+				Key:     key(topo.ScopeService, "search.web", "err.rate"),
+				Verdict: funnel.ChangedBySoftware,
+				Detection: detect.Detection{
+					Start: 4330, DeclaredAt: 4336, AvailableAt: 4345, End: 4390,
+					Peak: 4.02, Kind: detect.RampUp,
+				},
+				Alpha: -3.4, TStat: -6.8, ControlKind: funnel.ControlHistorical,
+				TrendWarning: true,
+			},
+			{
+				Key:     key(topo.ScopeServer, "srv-0", "pv.count"),
+				Verdict: funnel.ChangedByOther,
+				Detection: detect.Detection{
+					Start: 4325, DeclaredAt: 4331, AvailableAt: 4336, End: 4360,
+					Peak: 3.10, Kind: detect.LevelShiftUp,
+				},
+				Alpha: 0.12, TStat: 0.4, ControlKind: funnel.ControlConcurrent,
+				ControlSimilarity: 0.99,
+			},
+			{
+				Key:         key(topo.ScopeServer, "srv-1", "disk.io"),
+				Verdict:     funnel.Inconclusive,
+				GapFraction: 0.42,
+			},
+			{
+				Key:     key(topo.ScopeServer, "srv-1", "mem.util"),
+				Verdict: funnel.NoChange,
+			},
+			{
+				Key:     key(topo.ScopeInstance, "search.web@srv-0", "qps"),
+				Verdict: funnel.NoChange,
+				Err:     errors.New("series missing from store"),
+			},
+		},
+		Trace: trace,
+	}
+}
+
+// TestGoldenText pins the operator text rendering, terse and verbose,
+// against golden files.
+func TestGoldenText(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		verbose bool
+		golden  string
+	}{
+		{"terse", false, "report_text_terse.golden"},
+		{"verbose", true, "report_text_verbose.golden"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteText(&buf, goldenReport(), tc.verbose); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, buf.Bytes())
+		})
+	}
+}
+
+// TestGoldenJSON pins the stable JSON wire form — downstream tooling
+// parses this, so field names, omissions and ordering are contract.
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*funnel.Report{goldenReport()}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json.golden", buf.Bytes())
+}
+
+// TestGoldenTrace pins the operator trace rendering, including the
+// telemetry-disabled notice.
+func TestGoldenTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceText(&buf, goldenReport().Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceText(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_trace.golden", buf.Bytes())
+}
+
+// TestGoldenSummary pins the one-line-per-change digest.
+func TestGoldenSummary(t *testing.T) {
+	quiet := goldenReport()
+	quiet.Change.ID = "chg-43"
+	quiet.Change.Service = "kv.cache"
+	quiet.Assessments = nil
+	s := Summary([]*funnel.Report{goldenReport(), quiet})
+	checkGolden(t, "report_summary.golden", []byte(s))
+}
+
+// TestGoldenReportIsRenderable sanity-checks the fixture against the
+// live pipeline types: every verdict value used above must render a
+// non-empty string form (guards against enum renumbering silently
+// changing the goldens' meaning).
+func TestGoldenReportIsRenderable(t *testing.T) {
+	for i, a := range goldenReport().Assessments {
+		if v := a.Verdict.String(); v == "" || v == "unknown" {
+			t.Errorf("assessment %d: unrenderable verdict %q", i, v)
+		}
+		if a.Verdict != funnel.NoChange && a.Detection.Kind.String() == "" {
+			t.Errorf("assessment %d: unrenderable detection kind", i)
+		}
+	}
+}
