@@ -15,8 +15,11 @@
 //	       "servers":["srv-1"],"at":"2015-12-03T12:00:00Z"}' | nc host 7103
 //
 // The -debug address serves the telemetry surface: /metrics (expvar
-// JSON with pipeline stage histograms), /debug/pprof/* and
-// /traces/<change-id> (the per-KPI assessment trace).
+// JSON with pipeline stage histograms; ?format=prom for the Prometheus
+// text exposition), /metrics/history (the self-scrape ring cmd/funneltop
+// renders), /debug/pprof/* and /traces/<change-id> (the per-KPI
+// assessment trace). Structured logging is tuned with -v (0/1/2) and
+// -log-json.
 package main
 
 import (
@@ -49,13 +52,20 @@ func main() {
 		upstream  = flag.String("upstream", "", "subscribe-port address of another funnelserve to mirror measurements from (reconnects with backoff; empty = off)")
 		data      = flag.String("data", "", "directory for write-ahead persistence: every measurement is logged before ingest acks and a restart replays to the exact pre-crash store (empty = in-memory only)")
 		shards    = flag.Int("shards", monitor.StoreShards, "store lock-stripe count")
-		verbose   = flag.Bool("v", false, "log lifecycle events (registrations, reports) to stderr")
+		verbose   = flag.Int("v", 0, "log verbosity to stderr: 0 = off, 1 = info, 2 = debug")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON (one object per line) instead of text")
+		histStep  = flag.Duration("history-step", obs.DefaultHistoryStep, "metrics-history self-scrape cadence (/metrics/history)")
+		histSpan  = flag.Duration("history-retention", obs.DefaultHistoryRetention, "metrics-history span kept in memory")
 	)
 	flag.Parse()
 
 	var logger *slog.Logger
-	if *verbose {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *verbose > 0 {
+		level := slog.LevelInfo
+		if *verbose >= 2 {
+			level = slog.LevelDebug
+		}
+		logger = obs.NewLogger(os.Stderr, level, *logJSON)
 	}
 
 	start := time.Now().UTC().Truncate(time.Minute).AddDate(0, 0, -*history-1)
@@ -92,11 +102,13 @@ func main() {
 			InstanceMetrics: splitList(*instM),
 			HistoryDays:     *history,
 		},
-		IngestAddr:    *ingest,
-		SubscribeAddr: *subscribe,
-		AdminAddr:     *admin,
-		DebugAddr:     *debug,
-		Logger:        logger,
+		IngestAddr:       *ingest,
+		SubscribeAddr:    *subscribe,
+		AdminAddr:        *admin,
+		DebugAddr:        *debug,
+		Logger:           logger,
+		HistoryStep:      *histStep,
+		HistoryRetention: *histSpan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "funnelserve:", err)

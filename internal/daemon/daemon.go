@@ -49,8 +49,15 @@ type Config struct {
 	// hot path then pays only nil checks.
 	Obs *obs.Collector
 	// Logger receives lifecycle events (endpoints bound, changes
-	// registered, reports emitted). Nil disables logging.
+	// registered, reports emitted). It is also installed as the
+	// collector's base logger, so component loggers derive from it. Nil
+	// disables logging.
 	Logger *slog.Logger
+	// HistoryStep and HistoryRetention tune the collector's self-scrape
+	// metrics ring (the /metrics/history document). Zero takes
+	// obs.DefaultHistoryStep / obs.DefaultHistoryRetention; the ring
+	// only runs when the daemon has a collector.
+	HistoryStep, HistoryRetention time.Duration
 }
 
 // Daemon is a running FUNNEL service.
@@ -112,6 +119,12 @@ func Start(cfg Config) (*Daemon, error) {
 		if rec := cfg.Store.Recovered(); rec.WALRecords > 0 {
 			col.Add(obs.CtrWALReplayed, int64(rec.WALRecords))
 		}
+		col.SetLogger(cfg.Logger)
+		col.StartHistory(cfg.HistoryStep, cfg.HistoryRetention)
+	}
+	logger := cfg.Logger
+	if logger != nil {
+		logger = logger.With("component", "daemon")
 	}
 	tp := topo.NewTopology()
 	online, err := funnel.NewOnline(cfg.Store, tp, cfg.Pipeline)
@@ -123,7 +136,7 @@ func Start(cfg Config) (*Daemon, error) {
 		topo:   tp,
 		online: online,
 		obs:    col,
-		log:    cfg.Logger,
+		log:    logger,
 		events: make(chan func(), 256),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -405,6 +418,7 @@ func (d *Daemon) Close() {
 	close(d.quit)
 	<-d.done
 	d.online.Close()
+	d.obs.StopHistory()
 	if d.log != nil {
 		d.log.Info("daemon stopped")
 	}

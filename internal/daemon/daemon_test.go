@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -35,6 +36,9 @@ func startDaemon(t *testing.T) (*Daemon, time.Time) {
 		SubscribeAddr: "127.0.0.1:0",
 		AdminAddr:     "127.0.0.1:0",
 		DebugAddr:     "127.0.0.1:0",
+		// Fast self-scrape so the debug-surface test sees history samples.
+		HistoryStep:      50 * time.Millisecond,
+		HistoryRetention: time.Minute,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +175,7 @@ func TestDaemonAdminErrors(t *testing.T) {
 // show nonzero pipeline stage counters and /traces/<change-id> must
 // hold the per-KPI stage trace with the DiD verdict.
 func TestDaemonDebugSurface(t *testing.T) {
+	wall0 := time.Now()
 	d, start := startDaemon(t)
 	defer d.Close()
 	if err := d.DeployService("kv.cache", "d-0", "d-1", "d-2"); err != nil {
@@ -203,7 +208,7 @@ func TestDaemonDebugSurface(t *testing.T) {
 	if v, _ := metrics[obs.CtrIngested].(float64); v == 0 {
 		t.Errorf("%s missing from /metrics", obs.CtrIngested)
 	}
-	for _, stage := range []string{obs.StageImpactSet, obs.StageSSTWindow, obs.StageSSTScore, obs.StagePersist, obs.StageAssess} {
+	for _, stage := range []string{obs.StageImpactSet, obs.StageSSTWindow, obs.StageSSTScore, obs.StagePersist, obs.StageAssess, obs.StageBinToVerdict} {
 		h, ok := metrics["stage."+stage].(map[string]any)
 		if !ok {
 			t.Errorf("stage.%s missing from /metrics", stage)
@@ -218,10 +223,12 @@ func TestDaemonDebugSurface(t *testing.T) {
 	var trace struct {
 		ChangeID string `json:"change_id"`
 		TotalNS  int64  `json:"total_ns"`
+		B2VNS    int64  `json:"bin_to_verdict_ns"`
 		KPIs     []struct {
 			Key     string `json:"key"`
 			Verdict string `json:"verdict"`
 			Alpha   float64
+			B2VNS   int64 `json:"bin_to_verdict_ns"`
 			Stages  []struct {
 				Stage string `json:"stage"`
 				NS    int64  `json:"ns"`
@@ -251,6 +258,79 @@ func TestDaemonDebugSurface(t *testing.T) {
 	}
 	if flagged != 1 {
 		t.Errorf("trace flagged KPIs = %d, want 1", flagged)
+	}
+
+	// Bin-to-verdict latency: populated and monotone-sane. The verdict
+	// emitted after the last bin arrived, so the recorded latency is
+	// positive and bounded by the test's own wall-clock elapsed time.
+	wall := time.Since(wall0)
+	if trace.B2VNS <= 0 || trace.B2VNS > int64(wall) {
+		t.Errorf("trace bin_to_verdict_ns = %d, want in (0, %d]", trace.B2VNS, int64(wall))
+	}
+	b2vKPIs := 0
+	for _, k := range trace.KPIs {
+		if k.B2VNS < 0 {
+			t.Errorf("KPI %s has negative bin-to-verdict latency", k.Key)
+		}
+		if k.B2VNS > trace.B2VNS {
+			t.Errorf("KPI %s b2v %d exceeds the trace-level worst case %d", k.Key, k.B2VNS, trace.B2VNS)
+		}
+		if k.B2VNS > 0 {
+			b2vKPIs++
+		}
+	}
+	if b2vKPIs == 0 {
+		t.Error("no KPI carries a bin-to-verdict latency")
+	}
+
+	// /metrics?format=prom: the Prometheus text exposition.
+	resp2, err := http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics?format=prom status = %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prom Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE funnel_monitor_ingested_total counter",
+		"# TYPE funnel_stage_duration_seconds histogram",
+		`stage="bin_to_verdict"`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(string(promBody), want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+
+	// /metrics/history: the self-scrape ring has samples covering the
+	// run, with ingest counter series and per-second rates. The ring
+	// ticks every 50ms (startDaemon), so wait out at least one tick.
+	var hist obs.HistoryDump
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, base+"/metrics/history", &hist)
+		if len(hist.Times) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history has %d samples, want >= 2", len(hist.Times))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ing := hist.Series[obs.CtrIngested]
+	if len(ing) != len(hist.Times) || ing[len(ing)-1] == 0 {
+		t.Errorf("history ingest series = %v", ing)
+	}
+	if _, ok := hist.Rates[obs.CtrIngested]; !ok {
+		t.Error("history has no rate series for the ingest counter")
 	}
 
 	// Unknown change IDs 404.

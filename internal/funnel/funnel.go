@@ -32,6 +32,18 @@ type SeriesSource interface {
 	Series(key topo.KPIKey) (*timeseries.Series, bool)
 }
 
+// ArrivalSource is the optional second face of a SeriesSource that
+// tracks when each KPI's most recent measurement arrived at this node
+// (monitor.Store implements it). When the assessor's source provides
+// it and a collector is configured, every verdict is stamped with its
+// bin-to-verdict latency — verdict emission time minus the assessed
+// KPI's arrival watermark — the deployment-facing half of the paper's
+// "within minutes" claim. Offline sources (workload.MapSource, replay
+// corpora) simply do not implement it and pay nothing.
+type ArrivalSource interface {
+	ArrivalWatermark(key topo.KPIKey) (time.Time, bool)
+}
+
 // Config tunes the assessor. Zero fields take the documented defaults.
 type Config struct {
 	// SST configures the change scorer; zero value gives the paper's
@@ -480,6 +492,30 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 		}
 	}
 	if tr != nil {
+		// Bin-to-verdict: stamp each KPI verdict with how stale its
+		// freshest evidence is at emission time. Gated on the trace so the
+		// collector-less fast path stays allocation-free; sources with no
+		// arrival tracking (offline corpora) skip it via the type check,
+		// and keys with no watermark (e.g. service-scope aggregates, which
+		// are computed rather than ingested) are skipped per key.
+		if as, ok := a.source.(ArrivalSource); ok {
+			verdictAt := time.Now()
+			for i := range keys {
+				arrival, ok := as.ArrivalWatermark(keys[i])
+				if !ok {
+					continue
+				}
+				lat := verdictAt.Sub(arrival)
+				if lat < 0 {
+					lat = 0
+				}
+				a.obs.Observe(obs.StageBinToVerdict, lat)
+				kts[i].BinToVerdictNanos = int64(lat)
+				if int64(lat) > tr.BinToVerdictNanos {
+					tr.BinToVerdictNanos = int64(lat)
+				}
+			}
+		}
 		tr.Nanos = int64(time.Since(t0))
 		report.Trace = tr
 		a.obs.PutTrace(tr)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -346,7 +347,9 @@ type ClientConfig struct {
 	Reconnect bool
 	// Backoff paces reconnect attempts (zero value = defaults).
 	Backoff Backoff
-	// Obs counts successful reconnects on obs.CtrReconnects.
+	// Obs counts successful reconnects on obs.CtrReconnects and
+	// registers per-client reconnect and replay-lag gauges (retired on
+	// Close).
 	Obs *obs.Collector
 }
 
@@ -364,6 +367,9 @@ type Client struct {
 	err        error
 	reconnects int64
 	lastSeen   map[topo.KPIKey]time.Time
+
+	// gaugeNames are the registry entries to retire on Close.
+	gaugeNames []string
 }
 
 // Dial connects to a monitor server and subscribes to the given key
@@ -397,6 +403,22 @@ func DialConfig(addr string, cfg ClientConfig, prefixes ...string) (*Client, err
 		return nil, err
 	}
 	c.conn = conn
+	if cfg.Obs != nil {
+		id := strconv.FormatInt(endpointID.Add(1), 10)
+		reconName := obs.LabeledName("monitor.client_reconnects", "addr", addr, "id", id)
+		lagName := obs.LabeledName("monitor.client_replay_lag_seconds", "addr", addr, "id", id)
+		cfg.Obs.SetGaugeFunc(reconName, c.Reconnects)
+		cfg.Obs.SetGaugeFunc(lagName, func() int64 {
+			// How far behind a resume replay would have to reach: seconds
+			// since the earliest per-key watermark (0 before any data).
+			wm := c.watermark()
+			if wm.IsZero() {
+				return 0
+			}
+			return int64(time.Since(wm).Seconds())
+		})
+		c.gaugeNames = []string{reconName, lagName}
+	}
 	go c.run(conn)
 	return c, nil
 }
@@ -449,7 +471,12 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	conn := c.conn
+	gauges := c.gaugeNames
+	c.gaugeNames = nil
 	c.mu.Unlock()
+	for _, name := range gauges {
+		c.cfg.Obs.DeleteVar(name)
+	}
 	close(c.quit)
 	if conn != nil {
 		return conn.Close()

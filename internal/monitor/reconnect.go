@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -116,7 +118,8 @@ type PublisherConfig struct {
 	// by Flush, so coalescing adds no latency beyond the caller's own
 	// flush cadence. Clamped to ReplayCapacity.
 	BatchSize int
-	// Obs counts reconnects on obs.CtrReconnects.
+	// Obs counts reconnects on obs.CtrReconnects and registers
+	// per-publisher dropped/reconnect gauges (retired on Close).
 	Obs *obs.Collector
 }
 
@@ -150,11 +153,20 @@ type RobustPublisher struct {
 
 	bo          *backoffState
 	nextAttempt time.Time
-	reconnects  int64
-	dropped     int64
 	lastErr     error
 	closed      bool
+
+	// reconnects and dropped are atomic: the caller's publish goroutine
+	// writes them while collector gauge funcs read them at scrape time.
+	reconnects atomic.Int64
+	dropped    atomic.Int64
+	// gaugeNames are the registry entries to retire on Close.
+	gaugeNames []string
 }
+
+// endpointID hands out unique ids for per-publisher and per-client
+// gauge labels, so two links to the same address stay distinguishable.
+var endpointID atomic.Int64
 
 // DialRobustPublisher connects to an ingest endpoint with reconnect
 // and replay enabled. The initial dial is synchronous so configuration
@@ -178,6 +190,14 @@ func DialRobustPublisher(addr string, cfg PublisherConfig) (*RobustPublisher, er
 		return nil, err
 	}
 	p.attach(conn)
+	if cfg.Obs != nil {
+		id := strconv.FormatInt(endpointID.Add(1), 10)
+		dropName := obs.LabeledName("monitor.publisher_dropped", "addr", addr, "id", id)
+		reconName := obs.LabeledName("monitor.publisher_reconnects", "addr", addr, "id", id)
+		cfg.Obs.SetGaugeFunc(dropName, p.dropped.Load)
+		cfg.Obs.SetGaugeFunc(reconName, p.reconnects.Load)
+		p.gaugeNames = []string{dropName, reconName}
+	}
 	return p, nil
 }
 
@@ -218,7 +238,7 @@ func (p *RobustPublisher) remember(m Measurement) {
 	if p.count == len(p.ring) {
 		p.start = (p.start + 1) % len(p.ring)
 		p.count--
-		p.dropped++
+		p.dropped.Add(1)
 	}
 	p.ring[(p.start+p.count)%len(p.ring)] = m
 	p.count++
@@ -240,7 +260,7 @@ func (p *RobustPublisher) tryReconnect() bool {
 		return false
 	}
 	p.attach(conn)
-	p.reconnects++
+	p.reconnects.Add(1)
 	p.cfg.Obs.Add(obs.CtrReconnects, 1)
 	// Resend everything we still hold: the ingest store overwrites by
 	// (key, bin), so replaying measurements the server already has is
@@ -391,12 +411,12 @@ func (p *RobustPublisher) Connected() bool { return p.conn != nil }
 
 // Reconnects returns how many times the publisher redialed
 // successfully.
-func (p *RobustPublisher) Reconnects() int64 { return p.reconnects }
+func (p *RobustPublisher) Reconnects() int64 { return p.reconnects.Load() }
 
 // Dropped returns how many measurements were evicted from the replay
 // ring before a reconnect could resend them — the only way this
 // publisher loses data.
-func (p *RobustPublisher) Dropped() int64 { return p.dropped }
+func (p *RobustPublisher) Dropped() int64 { return p.dropped.Load() }
 
 // Err returns the most recent transport error (nil while healthy). A
 // publisher whose backoff budget is exhausted stays down with this
@@ -407,6 +427,10 @@ func (p *RobustPublisher) Err() error { return p.lastErr }
 // disconnects.
 func (p *RobustPublisher) Close() error {
 	p.closed = true
+	for _, name := range p.gaugeNames {
+		p.cfg.Obs.DeleteVar(name)
+	}
+	p.gaugeNames = nil
 	if p.conn == nil {
 		return p.lastErr
 	}

@@ -86,7 +86,7 @@ func (s *Store) writeSnapshotLocked(w io.Writer) error {
 		return err
 	}
 	for _, key := range keys {
-		buf := *s.shards[s.shardIndex(key)].series[key]
+		buf := s.shards[s.shardIndex(key)].series[key].bins
 		hdr := []byte{byte(key.Scope)}
 		var err error
 		if hdr, err = appendString(hdr, key.Entity); err != nil {
@@ -190,7 +190,10 @@ func readSnapshotShards(r io.Reader, shards int) (*Store, error) {
 			buf = append(buf, math.Float64frombits(binary.BigEndian.Uint64(scratch[:])))
 		}
 		key := topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
-		store.shardFor(key).series[key] = &buf
+		// No arrival watermark: the snapshot's data arrived in a previous
+		// process, so bin-to-verdict latency starts fresh on the first
+		// live append.
+		store.shardFor(key).series[key] = &seriesEntry{bins: buf}
 	}
 	return store, nil
 }

@@ -19,6 +19,7 @@ package monitor
 import (
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,8 +81,23 @@ type Store struct {
 // single largest per-measurement cost at fleet ingest rates.
 type storeShard struct {
 	mu     sync.RWMutex
-	series map[topo.KPIKey]*[]float64
+	series map[topo.KPIKey]*seriesEntry
 	wal    *shardWAL
+	// rotations counts WAL segment rotations on this shard (guarded by
+	// mu; persistent stores only).
+	rotations int64
+}
+
+// seriesEntry is one KPI's stored state: the binned values plus the
+// node-local arrival time of the most recent ingested measurement (the
+// ingest high-watermark bin-to-verdict latency is measured against).
+// Both fields are guarded by the owning shard's mutex; arrivalNanos is
+// zero until the first live append (snapshot-restored series carry no
+// watermark — their data's true arrival time died with the previous
+// process).
+type seriesEntry struct {
+	bins         []float64
+	arrivalNanos int64
 }
 
 // subscription is one registered measurement listener.
@@ -146,7 +162,7 @@ func NewStoreShards(start time.Time, step time.Duration, shards int) *Store {
 		subs:   make(map[int]*subscription),
 	}
 	for i := range s.shards {
-		s.shards[i].series = make(map[topo.KPIKey]*[]float64)
+		s.shards[i].series = make(map[topo.KPIKey]*seriesEntry)
 	}
 	return s
 }
@@ -182,10 +198,43 @@ func (s *Store) shardFor(key topo.KPIKey) *storeShard {
 }
 
 // SetCollector attaches a telemetry collector. Ingest counts, delivery
-// pushes, slow-subscriber drops and WAL activity are reported to it. A
-// nil collector (the default) keeps every hook a no-op.
+// pushes, slow-subscriber drops and WAL activity are reported to it,
+// and per-shard gauges (series occupancy; WAL bytes and rotations on
+// persistent stores) are registered for the balance view of the
+// operator dashboard. A nil collector (the default) keeps every hook a
+// no-op.
 func (s *Store) SetCollector(c *obs.Collector) {
 	s.obs.Store(c)
+	if c == nil {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		label := strconv.Itoa(i)
+		c.SetGaugeFunc(obs.LabeledName("monitor.shard_series", "shard", label), func() int64 {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return int64(len(sh.series))
+		})
+		if s.persist != nil {
+			c.SetGaugeFunc(obs.LabeledName("monitor.shard_wal_bytes", "shard", label), func() int64 {
+				sh.mu.RLock()
+				defer sh.mu.RUnlock()
+				if sh.wal == nil {
+					return 0
+				}
+				return sh.wal.bytes
+			})
+			c.SetGaugeFunc(obs.LabeledName("monitor.shard_rotations", "shard", label), func() int64 {
+				sh.mu.RLock()
+				defer sh.mu.RUnlock()
+				return sh.rotations
+			})
+		}
+	}
+	if s.persist != nil {
+		c.SetGaugeFunc("monitor.wal_bytes", func() int64 { return s.persist.walBytes.Load() })
+	}
 }
 
 // Collector returns the attached telemetry collector (possibly nil).
@@ -204,25 +253,28 @@ func (s *Store) Start() time.Time {
 func (s *Store) Step() time.Duration { return s.step }
 
 // applyLocked records m into sh (whose mutex the caller holds, along
-// with epochMu.RLock) and delivers it to matching subscribers. It
+// with epochMu.RLock) and delivers it to matching subscribers.
+// arrivalNanos is the node-local ingest time stamped onto the key's
+// watermark (callers read the clock once per append or batch). It
 // returns delivery counts and whether the measurement was stored
 // (pre-epoch measurements are dropped).
-func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement) (pushes, drops int64, stored bool) {
+func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement, arrivalNanos int64) (pushes, drops int64, stored bool) {
 	if m.T.Before(start) {
 		return 0, 0, false
 	}
 	idx := int(m.T.Sub(start) / s.step)
-	bp := sh.series[m.Key]
-	if bp == nil {
-		bp = new([]float64)
-		sh.series[m.Key] = bp
+	e := sh.series[m.Key]
+	if e == nil {
+		e = new(seriesEntry)
+		sh.series[m.Key] = e
 	}
-	buf := *bp
+	buf := e.bins
 	for len(buf) <= idx {
 		buf = append(buf, math.NaN())
 	}
 	buf[idx] = m.V
-	*bp = buf
+	e.bins = buf
+	e.arrivalNanos = arrivalNanos
 	if sh.wal != nil {
 		sh.wal.appendLocked(m)
 	}
@@ -255,11 +307,12 @@ func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement) (pus
 // than its buffer loses the oldest deliveries rather than blocking the
 // ingest path.
 func (s *Store) Append(m Measurement) {
+	now := time.Now().UnixNano()
 	s.epochMu.RLock()
 	start := s.start
 	sh := s.shardFor(m.Key)
 	sh.mu.Lock()
-	pushes, drops, stored := s.applyLocked(sh, start, m)
+	pushes, drops, stored := s.applyLocked(sh, start, m, now)
 	if sh.wal != nil && stored {
 		sh.wal.flushLocked()
 	}
@@ -307,6 +360,10 @@ func (s *Store) AppendBatch(ms []Measurement) {
 		s.Append(ms[0])
 		return
 	}
+	// One clock read stamps the whole batch's arrival watermarks — the
+	// batch arrived together, and the amortized cost keeps the ingest
+	// hot path flat.
+	now := time.Now().UnixNano()
 	s.epochMu.RLock()
 	start := s.start
 	var pushes, drops, ingested int64
@@ -314,7 +371,7 @@ func (s *Store) AppendBatch(ms []Measurement) {
 		sh := &s.shards[0]
 		sh.mu.Lock()
 		for i := range ms {
-			p, d, ok := s.applyLocked(sh, start, ms[i])
+			p, d, ok := s.applyLocked(sh, start, ms[i], now)
 			pushes += p
 			drops += d
 			if ok {
@@ -360,7 +417,7 @@ func (s *Store) AppendBatch(ms []Measurement) {
 			sh := &s.shards[si]
 			sh.mu.Lock()
 			for _, i := range order[lo:hi] {
-				p, d, ok := s.applyLocked(sh, start, ms[i])
+				p, d, ok := s.applyLocked(sh, start, ms[i], now)
 				pushes += p
 				drops += d
 				if ok {
@@ -389,11 +446,11 @@ func (s *Store) Series(key topo.KPIKey) (*timeseries.Series, bool) {
 	start := s.start
 	sh := s.shardFor(key)
 	sh.mu.RLock()
-	bp, ok := sh.series[key]
+	e, ok := sh.series[key]
 	var cp []float64
 	if ok {
-		cp = make([]float64, len(*bp))
-		copy(cp, *bp)
+		cp = make([]float64, len(e.bins))
+		copy(cp, e.bins)
 	}
 	sh.mu.RUnlock()
 	s.epochMu.RUnlock()
@@ -401,6 +458,27 @@ func (s *Store) Series(key topo.KPIKey) (*timeseries.Series, bool) {
 		return nil, false
 	}
 	return timeseries.New(start, s.step, cp), true
+}
+
+// ArrivalWatermark returns the node-local time the key's most recent
+// measurement was ingested, and whether the key holds one. Series
+// restored from a snapshot report no watermark until their first live
+// append. The assessment pipeline subtracts this from verdict emission
+// time to get the end-to-end bin-to-verdict latency.
+func (s *Store) ArrivalWatermark(key topo.KPIKey) (time.Time, bool) {
+	s.epochMu.RLock()
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	var ns int64
+	if e, ok := sh.series[key]; ok {
+		ns = e.arrivalNanos
+	}
+	sh.mu.RUnlock()
+	s.epochMu.RUnlock()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }
 
 // Range returns a copy of the key's bins covering [from, to), clamped
@@ -484,15 +562,14 @@ func (s *Store) Prune(before time.Time) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for key, bp := range sh.series {
-			buf := *bp
-			if drop >= len(buf) {
+		for key, e := range sh.series {
+			if drop >= len(e.bins) {
 				delete(sh.series, key)
 				continue
 			}
-			kept := make([]float64, len(buf)-drop)
-			copy(kept, buf[drop:])
-			*bp = kept
+			kept := make([]float64, len(e.bins)-drop)
+			copy(kept, e.bins[drop:])
+			e.bins = kept
 		}
 		sh.mu.Unlock()
 	}
@@ -528,10 +605,10 @@ func (s *Store) Stats() Stats {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		st.SeriesCount += len(sh.series)
-		for _, bp := range sh.series {
-			st.Bins += len(*bp)
-			if len(*bp)-1 > st.LastBin {
-				st.LastBin = len(*bp) - 1
+		for _, e := range sh.series {
+			st.Bins += len(e.bins)
+			if len(e.bins)-1 > st.LastBin {
+				st.LastBin = len(e.bins) - 1
 			}
 		}
 		sh.mu.RUnlock()
@@ -557,11 +634,11 @@ func (s *Store) ReplaySince(filter func(topo.KPIKey) bool, since time.Time) []Me
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.RLock()
-		for key, bp := range sh.series {
+		for key, e := range sh.series {
 			if filter != nil && !filter(key) {
 				continue
 			}
-			buf := *bp
+			buf := e.bins
 			for i := lo; i < len(buf); i++ {
 				if math.IsNaN(buf[i]) {
 					continue

@@ -154,6 +154,10 @@ type shardWAL struct {
 	// pendingAppends counts measurements buffered since the last flush,
 	// for telemetry (guarded by the shard mutex like the rest).
 	pendingAppends int64
+	// bytes is this log's record bytes since creation, for the per-shard
+	// WAL-size gauge (guarded by the shard mutex; rotation installs a
+	// fresh shardWAL, resetting it).
+	bytes int64
 }
 
 // walGroupCap bounds one group record's payload; a run that outgrows
@@ -227,6 +231,7 @@ func (w *shardWAL) emitLocked() {
 		return
 	}
 	w.p.walBytes.Add(int64(len(w.rec)) + 8)
+	w.bytes += int64(len(w.rec)) + 8
 	w.rec = w.rec[:0]
 }
 
@@ -581,6 +586,7 @@ func (p *persister) compact() error {
 				return err
 			}
 			sh.wal = w
+			sh.rotations++
 		}
 		return nil
 	}()

@@ -98,6 +98,53 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return bucketUpper(histBuckets - 1)
 }
 
+// HistogramSnapshot is a point-in-time copy of a histogram's state (all
+// durations in nanoseconds), taken for renderers that walk the buckets
+// — the Prometheus exposition and the metrics history ring. Field reads
+// are individually atomic; observations landing mid-copy can skew count
+// against sum by at most the in-flight observations, which is the usual
+// scrape-consistency contract.
+type HistogramSnapshot struct {
+	Count    int64
+	SumNanos int64
+	MaxNanos int64
+	Buckets  [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sum.Load(),
+		MaxNanos: h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile of the snapshot, mirroring
+// Histogram.Quantile (bucket upper bound where the cumulative count
+// crosses q·count; 0 when empty).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
 // String renders the histogram as stable JSON (expvar.Var). Bucket
 // keys are the upper bounds in microseconds; empty buckets are
 // omitted.
@@ -113,6 +160,8 @@ func (h *Histogram) String() string {
 	b.WriteString(strconv.FormatInt(h.max.Load()/int64(time.Microsecond), 10))
 	b.WriteString(`,"p50_us":`)
 	b.WriteString(strconv.FormatInt(int64(h.Quantile(0.50)/time.Microsecond), 10))
+	b.WriteString(`,"p90_us":`)
+	b.WriteString(strconv.FormatInt(int64(h.Quantile(0.90)/time.Microsecond), 10))
 	b.WriteString(`,"p99_us":`)
 	b.WriteString(strconv.FormatInt(int64(h.Quantile(0.99)/time.Microsecond), 10))
 	b.WriteString(`,"buckets_le_us":{`)

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics history: the collector self-scrapes its own registry on a
+// ticker into a bounded in-memory ring, so an operator tool (or a
+// human with curl) can see how the process moved over the last N
+// minutes without running a Prometheus server. Counters are kept raw
+// and also differentiated into per-second rates; gauges are kept raw;
+// stage histograms are reduced to count and p50/p90/p99 per sample.
+// The ring is exposed as the /metrics/history JSON document.
+
+// Default self-scrape cadence and ring span: one sample every 10 s,
+// 15 minutes retained (91 samples).
+const (
+	DefaultHistoryStep      = 10 * time.Second
+	DefaultHistoryRetention = 15 * time.Minute
+)
+
+// historySample is one self-scrape of the registry.
+type historySample struct {
+	t        time.Time
+	counters map[string]float64 // expvar.Int values (cumulative)
+	gauges   map[string]float64 // expvar.Func values (instantaneous)
+	stages   map[string]HistogramSnapshot
+}
+
+// metricsHistory is the bounded self-scrape ring plus its ticker
+// goroutine. Installed into a Collector by StartHistory.
+type metricsHistory struct {
+	c    *Collector
+	step time.Duration
+	cap  int
+
+	mu      sync.Mutex
+	samples []historySample
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// StartHistory starts the self-scrape ring: one sample every step,
+// retaining retention's worth (non-positive arguments take the
+// defaults). The first sample is taken synchronously so the ring is
+// never empty once started. Calling it again replaces the previous
+// ring — its goroutine is stopped and its samples are discarded.
+// No-op on a nil collector.
+func (c *Collector) StartHistory(step, retention time.Duration) {
+	if c == nil {
+		return
+	}
+	if step <= 0 {
+		step = DefaultHistoryStep
+	}
+	if retention <= 0 {
+		retention = DefaultHistoryRetention
+	}
+	capacity := int(retention/step) + 1
+	if capacity < 2 {
+		capacity = 2
+	}
+	h := &metricsHistory{
+		c:    c,
+		step: step,
+		cap:  capacity,
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	h.scrape()
+	go h.run()
+	if old := c.history.Swap(h); old != nil {
+		old.stop()
+	}
+}
+
+// StopHistory stops the self-scrape goroutine and drops the ring.
+// No-op on a nil collector or when no history is running.
+func (c *Collector) StopHistory() {
+	if c == nil {
+		return
+	}
+	if h := c.history.Swap(nil); h != nil {
+		h.stop()
+	}
+}
+
+// stop shuts down the ticker goroutine and waits for it to exit.
+func (h *metricsHistory) stop() {
+	close(h.quit)
+	<-h.done
+}
+
+// run is the ticker loop.
+func (h *metricsHistory) run() {
+	defer close(h.done)
+	tick := time.NewTicker(h.step)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			h.scrape()
+		case <-h.quit:
+			return
+		}
+	}
+}
+
+// scrape takes one sample of the registry and appends it to the ring,
+// evicting the oldest sample when full.
+func (h *metricsHistory) scrape() {
+	s := historySample{
+		t:        time.Now(),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+		stages:   make(map[string]HistogramSnapshot),
+	}
+	h.c.vars.Do(func(kv expvar.KeyValue) {
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			s.counters[kv.Key] = float64(v.Value())
+		case expvar.Func:
+			if f, ok := numericValue(v.Value()); ok {
+				s.gauges[kv.Key] = f
+			}
+		case *Histogram:
+			s.stages[strings.TrimPrefix(kv.Key, "stage.")] = v.Snapshot()
+		}
+	})
+	h.mu.Lock()
+	if len(h.samples) >= h.cap {
+		// Shift in place; the ring is small (≈ retention/step entries).
+		copy(h.samples, h.samples[1:])
+		h.samples = h.samples[:len(h.samples)-1]
+	}
+	h.samples = append(h.samples, s)
+	h.mu.Unlock()
+}
+
+// HistoryStage is one stage histogram's trajectory across the ring:
+// parallel arrays, one entry per sample time.
+type HistoryStage struct {
+	Count []int64 `json:"count"`
+	P50us []int64 `json:"p50_us"`
+	P90us []int64 `json:"p90_us"`
+	P99us []int64 `json:"p99_us"`
+}
+
+// HistoryDump is the /metrics/history JSON document: parallel arrays
+// over the sample times. Series carries raw values for every counter
+// and gauge; Rates carries per-second first differences for counters
+// only (clamped at zero, so a counter reset reads as a quiet interval
+// rather than a negative rate; the first sample's rate is 0).
+type HistoryDump struct {
+	StepSeconds float64                 `json:"step_seconds"`
+	Times       []int64                 `json:"times"` // unix seconds
+	Series      map[string][]float64    `json:"series"`
+	Rates       map[string][]float64    `json:"rates"`
+	Stages      map[string]HistoryStage `json:"stages"`
+}
+
+// HistoryDump renders the current ring. The zero-value dump (empty
+// arrays, non-nil maps) is returned when no history is running.
+func (c *Collector) HistoryDump() HistoryDump {
+	d := HistoryDump{
+		Series: make(map[string][]float64),
+		Rates:  make(map[string][]float64),
+		Stages: make(map[string]HistoryStage),
+	}
+	if c == nil {
+		return d
+	}
+	h := c.history.Load()
+	if h == nil {
+		return d
+	}
+	d.StepSeconds = h.step.Seconds()
+	h.mu.Lock()
+	samples := make([]historySample, len(h.samples))
+	copy(samples, h.samples)
+	h.mu.Unlock()
+	n := len(samples)
+	d.Times = make([]int64, n)
+	for i, s := range samples {
+		d.Times[i] = s.t.Unix()
+	}
+	// Union of keys across samples: variables registered mid-ring get
+	// zeros for the samples that predate them.
+	for _, s := range samples {
+		for k := range s.counters {
+			if _, ok := d.Rates[k]; !ok {
+				d.Series[k] = make([]float64, n)
+				d.Rates[k] = make([]float64, n)
+			}
+		}
+		for k := range s.gauges {
+			if _, ok := d.Series[k]; !ok {
+				d.Series[k] = make([]float64, n)
+			}
+		}
+		for k := range s.stages {
+			if _, ok := d.Stages[k]; !ok {
+				d.Stages[k] = HistoryStage{
+					Count: make([]int64, n),
+					P50us: make([]int64, n),
+					P90us: make([]int64, n),
+					P99us: make([]int64, n),
+				}
+			}
+		}
+	}
+	for i, s := range samples {
+		for k := range d.Rates {
+			d.Series[k][i] = s.counters[k]
+			if i > 0 {
+				dt := samples[i].t.Sub(samples[i-1].t).Seconds()
+				if dt > 0 {
+					if dv := s.counters[k] - samples[i-1].counters[k]; dv > 0 {
+						d.Rates[k][i] = dv / dt
+					}
+				}
+			}
+		}
+		for k := range d.Series {
+			if _, isCounter := d.Rates[k]; isCounter {
+				continue
+			}
+			d.Series[k][i] = s.gauges[k]
+		}
+		for k, st := range d.Stages {
+			snap := s.stages[k]
+			st.Count[i] = snap.Count
+			st.P50us[i] = int64(snap.Quantile(0.50) / time.Microsecond)
+			st.P90us[i] = int64(snap.Quantile(0.90) / time.Microsecond)
+			st.P99us[i] = int64(snap.Quantile(0.99) / time.Microsecond)
+		}
+	}
+	return d
+}
+
+// WriteHistory writes the history dump as JSON — the /metrics/history
+// payload. A nil collector (or one with no running history) writes an
+// empty dump, never an error.
+func (c *Collector) WriteHistory(w io.Writer) error {
+	buf, err := json.Marshal(c.HistoryDump())
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

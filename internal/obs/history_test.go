@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrapeNow forces one synchronous sample, so tests control the ring's
+// contents without waiting on the ticker.
+func scrapeNow(t *testing.T, c *Collector) {
+	t.Helper()
+	h := c.history.Load()
+	if h == nil {
+		t.Fatal("no history running")
+	}
+	h.scrape()
+}
+
+// TestHistoryRingBounded pins the ring's eviction: retention/step+1
+// samples at most, oldest dropped first.
+func TestHistoryRingBounded(t *testing.T) {
+	c := NewCollector()
+	// Hour-long step: the ticker will not fire during the test, so only
+	// the explicit scrapes below populate the ring.
+	c.StartHistory(time.Hour, 3*time.Hour) // cap = 4
+	defer c.StopHistory()
+	for i := 0; i < 10; i++ {
+		c.Add(CtrIngested, 1)
+		scrapeNow(t, c)
+	}
+	d := c.HistoryDump()
+	if len(d.Times) != 4 {
+		t.Fatalf("ring holds %d samples, want cap 4", len(d.Times))
+	}
+	series := d.Series[CtrIngested]
+	if len(series) != 4 {
+		t.Fatalf("counter series has %d points, want 4", len(series))
+	}
+	// StartHistory scraped once at value 0 and the loop scraped at
+	// values 1..10; the last four survive.
+	want := []float64{7, 8, 9, 10}
+	for i, v := range want {
+		if series[i] != v {
+			t.Fatalf("series = %v, want %v", series, want)
+		}
+	}
+}
+
+// TestHistoryRates pins the counter differentiation: non-negative
+// per-second rates, first sample zero, counters and gauges kept apart.
+func TestHistoryRates(t *testing.T) {
+	c := NewCollector()
+	gauge := int64(5)
+	c.SetGaugeFunc("test.gauge", func() int64 { return gauge })
+	c.StartHistory(time.Hour, 10*time.Hour)
+	defer c.StopHistory()
+	c.Add(CtrIngested, 100)
+	c.Observe(StageBinToVerdict, 10*time.Second)
+	gauge = 7
+	scrapeNow(t, c)
+	d := c.HistoryDump()
+	if len(d.Times) != 2 {
+		t.Fatalf("%d samples, want 2", len(d.Times))
+	}
+	rates := d.Rates[CtrIngested]
+	if rates[0] != 0 {
+		t.Fatalf("first rate = %v, want 0", rates[0])
+	}
+	if rates[1] < 0 {
+		t.Fatalf("rate went negative: %v", rates[1])
+	}
+	if _, ok := d.Rates["test.gauge"]; ok {
+		t.Fatal("gauges must not get rate series")
+	}
+	g := d.Series["test.gauge"]
+	if g[0] != 5 || g[1] != 7 {
+		t.Fatalf("gauge series = %v, want [5 7]", g)
+	}
+	st, ok := d.Stages[StageBinToVerdict]
+	if !ok {
+		t.Fatalf("stages = %v, want %s present", d.Stages, StageBinToVerdict)
+	}
+	if st.Count[1] != 1 {
+		t.Fatalf("stage count trajectory = %v", st.Count)
+	}
+	if st.P99us[1] < 10_000_000 { // 10 s observation; quantile is a bucket upper bound ≥ it
+		t.Fatalf("p99 = %d µs for a 10 s observation", st.P99us[1])
+	}
+	var buf bytes.Buffer
+	if err := c.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back HistoryDump
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteHistory output is not JSON: %v", err)
+	}
+	if len(back.Times) != 2 {
+		t.Fatalf("round-tripped dump has %d samples", len(back.Times))
+	}
+}
+
+// TestHistoryCounterResetClampsToZero pins the reset behavior: a
+// counter that goes backwards (process restart semantics) reads as a
+// quiet interval, not a negative rate.
+func TestHistoryCounterResetClampsToZero(t *testing.T) {
+	c := NewCollector()
+	c.Add("test.counter", 100)
+	c.StartHistory(time.Hour, 10*time.Hour)
+	defer c.StopHistory()
+	c.Add("test.counter", -60) // simulated reset
+	scrapeNow(t, c)
+	d := c.HistoryDump()
+	if r := d.Rates["test.counter"][1]; r != 0 {
+		t.Fatalf("rate after reset = %v, want 0", r)
+	}
+}
+
+// TestHistoryConcurrent hammers the registry while a tiny-step scraper
+// ticks — run under -race this is the ring's data-race certificate.
+func TestHistoryConcurrent(t *testing.T) {
+	c := NewCollector()
+	c.StartHistory(time.Millisecond, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Add(CtrIngested, 1)
+				c.Observe(StageAssess, time.Duration(i)*time.Microsecond)
+				if i%50 == 0 {
+					c.SetGaugeFunc(LabeledName("test.gauge", "w", "x"), func() int64 { return int64(i) })
+					_ = c.HistoryDump()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Replace the ring mid-flight, then stop: both must be race-free.
+	c.StartHistory(time.Millisecond, 50*time.Millisecond)
+	c.StopHistory()
+	c.StopHistory() // idempotent
+	if d := c.HistoryDump(); len(d.Times) != 0 {
+		t.Fatalf("dump after StopHistory has %d samples", len(d.Times))
+	}
+}

@@ -10,7 +10,11 @@ import (
 // Handler returns the debug/admin HTTP surface of a collector:
 //
 //	/metrics              counters, stage histograms, runtime gauges
-//	                      (one expvar-style JSON object)
+//	                      (one expvar-style JSON object); append
+//	                      ?format=prom for the Prometheus text format
+//	/metrics/history      the self-scrape ring as JSON (values, rates
+//	                      and stage quantiles over the last N minutes;
+//	                      empty until StartHistory)
 //	/debug/pprof/*        the standard Go profiling endpoints
 //	/traces               change IDs with a stored trace, oldest first
 //	/traces/<change-id>   the per-KPI assessment trace as JSON
@@ -24,8 +28,17 @@ func (c *Collector) Handler() http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			c.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		c.WriteMetrics(w)
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		c.WriteHistory(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -59,7 +72,9 @@ func (c *Collector) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("funnel debug surface\n" +
-			"  /metrics              stage counters and histograms\n" +
+			"  /metrics              stage counters and histograms (JSON)\n" +
+			"  /metrics?format=prom  Prometheus text exposition\n" +
+			"  /metrics/history      self-scrape ring: values, rates, quantiles\n" +
 			"  /traces               stored change IDs\n" +
 			"  /traces/<change-id>   per-KPI assessment trace\n" +
 			"  /debug/pprof/         profiling endpoints\n"))

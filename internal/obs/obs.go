@@ -21,9 +21,11 @@ package obs
 import (
 	"expvar"
 	"io"
+	"log/slog"
 	"runtime"
 	"runtime/metrics"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,6 +54,13 @@ const (
 	StageRender = "render"
 	// StageAssess is one whole change assessment end to end.
 	StageAssess = "assess"
+	// StageBinToVerdict is the end-to-end freshness of a verdict:
+	// emission time minus the node-local arrival time of the assessed
+	// KPI's most recent ingested bin (its ingest high-watermark). One
+	// observation per assessed KPI whose source tracks arrivals, so the
+	// histogram's p50/p90/p99 answer the paper's "within minutes" claim
+	// (Table 3) for a live deployment.
+	StageBinToVerdict = "bin_to_verdict"
 )
 
 // Counter names. Counters are expvar.Ints inside the collector's map;
@@ -131,6 +140,12 @@ type Collector struct {
 	stages sync.Map    // stage name → *Histogram
 	traces *TraceStore
 	start  time.Time
+
+	// logger is the base structured logger Logger derives component
+	// loggers from (nil until SetLogger).
+	logger atomic.Pointer[slog.Logger]
+	// history is the self-scrape ring (nil until StartHistory).
+	history atomic.Pointer[metricsHistory]
 }
 
 // DefaultTraceCapacity bounds the trace ring of a fresh collector; at
@@ -170,6 +185,28 @@ func (c *Collector) Add(name string, delta int64) {
 		return
 	}
 	c.vars.Add(name, delta)
+}
+
+// SetGaugeFunc installs (or replaces) a named gauge whose value is
+// sampled from fn at render time — per-shard occupancy, WAL sizes,
+// per-connection replay lag and the like. Use LabeledName to attach
+// Prometheus-style labels to the name. No-op on a nil collector or a
+// nil fn.
+func (c *Collector) SetGaugeFunc(name string, fn func() int64) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.vars.Set(name, expvar.Func(func() any { return fn() }))
+}
+
+// DeleteVar removes a registry variable — counters, gauges installed
+// with SetGaugeFunc — so per-connection gauges can be retired when
+// their connection closes. No-op on a nil collector.
+func (c *Collector) DeleteVar(name string) {
+	if c == nil {
+		return
+	}
+	c.vars.Delete(name)
 }
 
 // Counter reads a counter back (0 when it never fired).

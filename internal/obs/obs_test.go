@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -15,8 +18,14 @@ func TestNilCollectorIsNoOp(t *testing.T) {
 	var c *Collector
 	c.Add(CtrIngested, 5)
 	c.Observe(StageAssess, time.Millisecond)
+	c.Observe(StageBinToVerdict, time.Second)
 	c.ObserveSince(StageAssess, c.Now())
 	c.PutTrace(&Trace{ChangeID: "x"})
+	c.SetGaugeFunc("some.gauge", func() int64 { return 7 })
+	c.DeleteVar("some.gauge")
+	c.SetLogger(NewLogger(io.Discard, 0, false))
+	c.StartHistory(time.Millisecond, time.Second)
+	c.StopHistory()
 	if got := c.Counter(CtrIngested); got != 0 {
 		t.Fatalf("nil counter = %d", got)
 	}
@@ -28,6 +37,39 @@ func TestNilCollectorIsNoOp(t *testing.T) {
 	}
 	if !c.Now().IsZero() {
 		t.Fatal("nil collector Now() should be zero")
+	}
+	if l := c.Logger("daemon"); l == nil || l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nil collector Logger should be the disabled discard logger")
+	}
+	if err := c.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteHistory(&buf); err != nil {
+		t.Fatalf("nil WriteHistory: %v", err)
+	}
+	var dump HistoryDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("nil WriteHistory output is not JSON: %v", err)
+	}
+	if d := c.HistoryDump(); len(d.Times) != 0 {
+		t.Fatalf("nil HistoryDump has %d samples", len(d.Times))
+	}
+}
+
+// TestNilCollectorHotPathAllocs pins the no-telemetry contract the
+// per-window benchmark relies on: the nil-receiver methods on the
+// ingest/assess hot path allocate nothing.
+func TestNilCollectorHotPathAllocs(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(CtrIngested, 1)
+		c.Observe(StageBinToVerdict, time.Second)
+		c.ObserveSince(StageAssess, c.Now())
+		c.Logger("ingest")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-collector hot path allocates %.1f per run, want 0", allocs)
 	}
 }
 

@@ -36,6 +36,12 @@ type KPITrace struct {
 	// data (missing or stale bins); an inconclusive verdict records
 	// here why the pipeline declined to decide.
 	GapFraction float64 `json:"gap_fraction,omitempty"`
+	// BinToVerdictNanos is this verdict's end-to-end data freshness:
+	// emission time minus the node-local arrival time of the KPI's most
+	// recent ingested bin. Zero when the series source tracks no
+	// arrival watermarks (offline corpora, snapshot-restored series
+	// before their first live append).
+	BinToVerdictNanos int64 `json:"bin_to_verdict_ns,omitempty"`
 	// Err records a per-KPI processing problem.
 	Err string `json:"error,omitempty"`
 }
@@ -65,11 +71,16 @@ func (k *KPITrace) StageNanos(stage string) int64 {
 // Trace is the ordered record of one change assessment: every KPI of
 // the impact set with its stage timings and decision evidence.
 type Trace struct {
-	ChangeID string      `json:"change_id"`
-	Service  string      `json:"service"`
-	At       time.Time   `json:"at"`
-	Nanos    int64       `json:"total_ns"`
-	KPIs     []*KPITrace `json:"kpis"`
+	ChangeID string    `json:"change_id"`
+	Service  string    `json:"service"`
+	At       time.Time `json:"at"`
+	Nanos    int64     `json:"total_ns"`
+	// BinToVerdictNanos is the worst (largest) per-KPI bin-to-verdict
+	// latency of this assessment — how stale the report's freshest
+	// evidence is at emission time. Zero when no assessed KPI had an
+	// arrival watermark.
+	BinToVerdictNanos int64       `json:"bin_to_verdict_ns,omitempty"`
+	KPIs              []*KPITrace `json:"kpis"`
 }
 
 // Add appends one KPI trace; no-op on a nil trace.

@@ -47,10 +47,14 @@ func goldenReport() *funnel.Report {
 	key := func(scope topo.Scope, entity, metric string) topo.KPIKey {
 		return topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
 	}
-	trace := &obs.Trace{ChangeID: "chg-42", Service: "search.web", At: at, Nanos: 2_345_000}
+	trace := &obs.Trace{
+		ChangeID: "chg-42", Service: "search.web", At: at, Nanos: 2_345_000,
+		BinToVerdictNanos: 83_000_000_000, // worst per-KPI latency below
+	}
 	kt := &obs.KPITrace{
 		Key: "server/srv-0/rt.delay", Score: 9.31, Kind: "level-shift-up",
 		Control: "concurrent", Alpha: 27.1, TStat: 41.2, Verdict: "changed-by-software",
+		BinToVerdictNanos: 83_000_000_000,
 	}
 	kt.Stages = []obs.StageTiming{
 		{Stage: "sst_score", Nanos: 1_520_000},

@@ -112,6 +112,12 @@ func WriteText(w io.Writer, r *funnel.Report, verbose bool) error {
 		r.Change.At.Format("2006-01-02 15:04"), mode); err != nil {
 		return err
 	}
+	if r.Trace != nil && r.Trace.BinToVerdictNanos > 0 {
+		if _, err := fmt.Fprintf(w, "  data-to-verdict latency %s (freshest evidence at emission)\n",
+			time.Duration(r.Trace.BinToVerdictNanos).Round(time.Millisecond)); err != nil {
+			return err
+		}
+	}
 	flagged := r.Flagged()
 	if len(flagged) == 0 {
 		if _, err := fmt.Fprintln(w, "  no KPI changes attributed to this software change"); err != nil {
@@ -162,9 +168,14 @@ func WriteTraceText(w io.Writer, tr *obs.Trace) error {
 		_, err := fmt.Fprintln(w, "no trace recorded (telemetry disabled)")
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "trace %s on %s at %s: %d KPI(s) in %s\n",
+	header := fmt.Sprintf("trace %s on %s at %s: %d KPI(s) in %s",
 		tr.ChangeID, tr.Service, tr.At.Format("2006-01-02 15:04"),
-		len(tr.KPIs), time.Duration(tr.Nanos)); err != nil {
+		len(tr.KPIs), time.Duration(tr.Nanos))
+	if tr.BinToVerdictNanos > 0 {
+		header += fmt.Sprintf(" (data-to-verdict %s)",
+			time.Duration(tr.BinToVerdictNanos).Round(time.Millisecond))
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, k := range tr.KPIs {
@@ -176,6 +187,10 @@ func WriteTraceText(w io.Writer, tr *obs.Trace) error {
 		default:
 			detail = fmt.Sprintf(" score=%.2f kind=%s control=%s α=%+.2f t=%+.2f",
 				k.Score, k.Kind, k.Control, k.Alpha, k.TStat)
+		}
+		if k.BinToVerdictNanos > 0 {
+			detail += fmt.Sprintf(" b2v=%s",
+				time.Duration(k.BinToVerdictNanos).Round(time.Millisecond))
 		}
 		if k.Err != "" {
 			detail += " error=" + k.Err
