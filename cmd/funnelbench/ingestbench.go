@@ -231,6 +231,8 @@ func runIngestSuite(perPub int, outPath, checkPath string) error {
 	}
 	fmt.Printf("ingest-throughput suite: %d publishers × %d measurements per entry\n",
 		ingestPublishers, perPub)
+	cal := calibrateNs()
+	fmt.Printf("host calibration kernel: %.0f ns/op\n", cal)
 	var entries []benchEntry
 	byName := make(map[string]benchStats)
 	for _, c := range ingestCases() {
@@ -283,9 +285,9 @@ func runIngestSuite(perPub int, outPath, checkPath string) error {
 		if telemetryRatio > telemetryOverheadCap {
 			return fmt.Errorf("telemetry ingest overhead %.3f× above cap %.2f×", telemetryRatio, telemetryOverheadCap)
 		}
-		return checkAgainstBaseline(checkPath, entries)
+		return checkAgainstBaseline(checkPath, cal, entries)
 	}
-	return writeBenchFile(outPath, entries)
+	return writeBenchFile(outPath, "funnel-bench/v1", cal, entries)
 }
 
 // measureBinToVerdict runs a small store-backed assessment — three

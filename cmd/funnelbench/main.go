@@ -30,6 +30,14 @@
 //
 //	funnelbench -run-ingest-bench                  measure, write -ingest-out
 //	funnelbench -run-ingest-bench -bench-check F   measure and gate vs F
+//
+// and a fourth measures the assessment read path — flat full-series
+// copies vs chunked RangeInto windows — plus store compression at
+// 30-day retention (committed as BENCH_4.json; the check enforces the
+// same-run ratio gates described in readbench.go):
+//
+//	funnelbench -run-read-bench                  measure, write -read-out
+//	funnelbench -run-read-bench -bench-check F   measure and gate vs F
 package main
 
 import (
@@ -65,6 +73,10 @@ func main() {
 		runIngest  = flag.Bool("run-ingest-bench", false, "run the end-to-end ingest-throughput suite (loopback TCP, single vs batch frames, 1 vs sharded store)")
 		ingestMeas = flag.Int("ingest-meas", 20000, "measurements per publisher per ingest-throughput entry")
 		ingestOut  = flag.String("ingest-out", "BENCH_3.json", "output path for the ingest-throughput baseline JSON")
+
+		runRead   = flag.Bool("run-read-bench", false, "run the assessment read-path suite (flat copy vs chunked RangeInto, assess e2e, compression)")
+		readIters = flag.Int("read-iters", 400, "iterations per read-path benchmark entry")
+		readOut   = flag.String("read-out", "BENCH_4.json", "output path for the read-path baseline JSON")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -72,6 +84,14 @@ func main() {
 	if *runIngest {
 		if err := runIngestSuite(*ingestMeas, *ingestOut, *benchCheck); err != nil {
 			fmt.Fprintf(os.Stderr, "funnelbench: ingest bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runRead {
+		if err := runReadBenchSuite(*readIters, *readOut, *benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "funnelbench: read bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,230 @@
+// The -run-read-bench mode: the assessment read-path suite committed as
+// BENCH_4.json. It measures the two ways a window leaves the store —
+// the legacy flat full-series copy (Series + slice) and the chunked
+// copy-free RangeInto — plus the end-to-end assess cost over each, and
+// the resident-bytes compression of chunked storage at 30-day
+// retention. The -bench-check gates are same-run ratios, so they hold
+// on any host speed:
+//
+//   - RangeInto bytes/op ≤ ½ the flat copy's (the ≥2× read-allocation
+//     reduction the chunked layout exists for);
+//   - chunked-store assess ns/op ≤ 1.05× the flat-source assess (the
+//     windowed read path may not tax the pipeline);
+//   - chunked resident bytes ≤ ½ the flat []float64 footprint on the
+//     30-day count-KPI corpus;
+//   - RangeInto stays 0 allocs/op steady-state (alloc guard vs the
+//     committed baseline, like every guarded entry).
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/funnel"
+	"repro/internal/monitor"
+	"repro/internal/timeseries"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Read-path gate factors (see the package comment above).
+const (
+	readAllocFactor  = 0.5  // RangeInto B/op vs flat-copy B/op
+	assessNsFactor   = 1.05 // chunked assess ns vs flat assess ns
+	residentFactor   = 0.5  // chunked resident bytes vs flat bytes
+	retentionDays    = 30   // store depth for the read + resident entries
+	readBenchServers = 8
+)
+
+// seriesOnly narrows a store to its flat Series face, so an assessor
+// over it takes the full-copy path while reading identical bits.
+type seriesOnly struct{ st *monitor.Store }
+
+func (s seriesOnly) Series(key topo.KPIKey) (*timeseries.Series, bool) { return s.st.Series(key) }
+
+// countValue is a deterministic integer count KPI bin — a diurnal
+// request-rate shape with Poisson-like jitter. Counts are the paper's
+// bread-and-butter KPIs (page views, transactions, error counts) and
+// the reason XOR compression pays: integer float64s share long mantissa
+// tails of zeros.
+func countValue(rng *rand.Rand, bin int) float64 {
+	lambda := 800 + 400*math.Sin(2*math.Pi*float64(bin%1440)/1440)
+	return math.Round(lambda + 40*rng.NormFloat64())
+}
+
+// retentionStore fills a chunked store with retentionDays of 1-minute
+// count bins for readBenchServers server KPIs.
+func retentionStore(epoch time.Time) *monitor.Store {
+	st := monitor.NewStore(epoch, time.Minute)
+	bins := retentionDays * 24 * 60
+	batch := make([]monitor.Measurement, 0, 512)
+	for s := 0; s < readBenchServers; s++ {
+		key := topo.KPIKey{Scope: topo.ScopeServer, Entity: fmt.Sprintf("srv-%d", s), Metric: "req.count"}
+		rng := rand.New(rand.NewSource(int64(s) + 7))
+		for bin := 0; bin < bins; bin++ {
+			batch = append(batch, monitor.Measurement{Key: key, T: epoch.Add(time.Duration(bin) * time.Minute), V: countValue(rng, bin)})
+			if len(batch) == cap(batch) {
+				st.AppendBatch(batch)
+				batch = batch[:0]
+			}
+		}
+	}
+	st.AppendBatch(batch)
+	return st
+}
+
+// runReadBenchSuite measures the suite; with checkPath non-empty it
+// applies the ratio gates and the per-entry baseline comparison instead
+// of writing outPath.
+func runReadBenchSuite(iters int, outPath, checkPath string) error {
+	if iters < 10 {
+		iters = 10
+	}
+	fmt.Printf("read-path suite: %d iterations per read entry, %d-day retention × %d KPIs\n",
+		iters, retentionDays, readBenchServers)
+	cal := calibrateNs()
+	fmt.Printf("host calibration kernel: %.0f ns/op\n", cal)
+
+	var entries []benchEntry
+	record := func(name string, n int, guard bool, st benchStats) {
+		entries = append(entries, benchEntry{Name: name, Iters: n, AllocGuard: guard, After: st})
+		fmt.Printf("  %-30s %12.0f ns/op %10.1f allocs/op %12.0f B/op\n",
+			name, st.NsPerOp, st.AllocsPerOp, st.BytesPerOp)
+	}
+	byName := func(name string) benchStats {
+		for _, e := range entries {
+			if e.Name == name {
+				return e.After
+			}
+		}
+		panic("readbench: no entry " + name)
+	}
+
+	// Read path: one assessment-sized window (two days of history plus
+	// detection margins ≈ what funnel fetches per KPI) out of the
+	// 30-day retention, flat copy vs RangeInto.
+	epoch := time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC)
+	st := retentionStore(epoch)
+	stats := st.Stats()
+	winBins := 2*24*60 + 200
+	at := epoch.Add(time.Duration(stats.LastBin-300) * time.Minute)
+	from := at.Add(-time.Duration(winBins) * time.Minute)
+	keys := st.Keys()
+	ki := 0
+	record("read/flat-full-copy", iters, false, measure(iters, func() {
+		s, ok := st.Series(keys[ki%len(keys)])
+		if !ok {
+			panic("readbench: series lost")
+		}
+		lo, _ := s.IndexOf(from)
+		hi, _ := s.IndexOf(at)
+		_ = s.Values[lo:hi]
+		ki++
+	}))
+	ki = 0
+	dst := make([]float64, 0, winBins+8)
+	record("read/chunked-range-into", iters, true, measure(iters, func() {
+		vals, _, ok := st.RangeInto(keys[ki%len(keys)], from, at, dst)
+		if !ok {
+			panic("readbench: window lost")
+		}
+		dst = vals[:0]
+		ki++
+	}))
+
+	// Resident bytes at 30-day retention: the chunked store's sealed
+	// chunks + tails versus the flat []float64 layout it replaced.
+	record("mem/flat-resident-bytes", 1, false, benchStats{BytesPerOp: float64(stats.Bins) * 8})
+	record("mem/chunked-resident-bytes", 1, false, benchStats{BytesPerOp: float64(stats.ApproxBytes)})
+	ratio := float64(stats.Bins) * 8 / float64(stats.ApproxBytes)
+	fmt.Printf("  compression ratio at %d-day retention: %.1f× (%d chunks)\n", retentionDays, ratio, stats.Chunks)
+
+	// End-to-end assess over the same store bits: the windowed chunked
+	// path versus an assessor whose source only offers full copies.
+	p := workload.DefaultParams()
+	p.Changes = 4
+	p.HistoryDays = 2
+	sc, err := workload.Generate(p)
+	if err != nil {
+		return fmt.Errorf("generate workload: %w", err)
+	}
+	ast := monitor.NewStore(sc.Start, sc.Step)
+	for _, key := range sc.Source.Keys() {
+		s, _ := sc.Source.Series(key)
+		for i, v := range s.Values {
+			if !math.IsNaN(v) {
+				ast.Append(monitor.Measurement{Key: key, T: s.Start.Add(time.Duration(i) * s.Step), V: v})
+			}
+		}
+	}
+	cfg := funnel.Config{
+		ServerMetrics:   workload.ServerMetrics(),
+		InstanceMetrics: workload.InstanceMetrics(),
+		HistoryDays:     2,
+		AssessWorkers:   1, // serial: the ratio gate wants minimal scheduler noise
+	}
+	chunked, err := funnel.NewAssessor(ast, sc.Topo, cfg)
+	if err != nil {
+		return fmt.Errorf("new assessor: %w", err)
+	}
+	flat, err := funnel.NewAssessor(seriesOnly{ast}, sc.Topo, cfg)
+	if err != nil {
+		return fmt.Errorf("new assessor: %w", err)
+	}
+	changes := make([]changelog.Change, 0, len(sc.Cases))
+	for _, cs := range sc.Cases {
+		changes = append(changes, cs.Change)
+	}
+	assessIters := iters / 5
+	if assessIters < 6 {
+		assessIters = 6
+	}
+	assessEntry := func(name string, a *funnel.Assessor) {
+		ci := 0
+		// Best of two measurement passes: assess wall-clock only ever
+		// inflates under GC or scheduler interference, so the min is the
+		// honest figure for a ratio gate on a shared host.
+		run := func() benchStats {
+			return measure(assessIters, func() {
+				if _, err := a.Assess(changes[ci%len(changes)]); err != nil {
+					panic(err)
+				}
+				ci++
+			})
+		}
+		a1, a2 := run(), run()
+		if a2.NsPerOp < a1.NsPerOp {
+			a1 = a2
+		}
+		record(name, assessIters, false, a1)
+	}
+	assessEntry("assess/flat-source", flat)
+	assessEntry("assess/chunked-store", chunked)
+
+	// Same-run ratio gates, reported on every run and enforced in check
+	// mode. They compare entries measured seconds apart on the same
+	// host, so no calibration or headroom is needed.
+	readB := byName("read/chunked-range-into").BytesPerOp / byName("read/flat-full-copy").BytesPerOp
+	assessNs := byName("assess/chunked-store").NsPerOp / byName("assess/flat-source").NsPerOp
+	resident := byName("mem/chunked-resident-bytes").BytesPerOp / byName("mem/flat-resident-bytes").BytesPerOp
+	fmt.Printf("  RangeInto B/op vs flat copy: %.3f× (gate ≤ %.2f)\n", readB, readAllocFactor)
+	fmt.Printf("  chunked assess ns vs flat:   %.3f× (gate ≤ %.2f)\n", assessNs, assessNsFactor)
+	fmt.Printf("  resident bytes vs flat:      %.3f× (gate ≤ %.2f)\n", resident, residentFactor)
+
+	if checkPath != "" {
+		if readB > readAllocFactor {
+			return fmt.Errorf("RangeInto B/op is %.3f× the flat copy — above the %.2f gate", readB, readAllocFactor)
+		}
+		if assessNs > assessNsFactor {
+			return fmt.Errorf("chunked assess is %.3f× the flat-source assess — above the %.2f gate", assessNs, assessNsFactor)
+		}
+		if resident > residentFactor {
+			return fmt.Errorf("chunked resident bytes are %.3f× the flat layout — above the %.2f gate", resident, residentFactor)
+		}
+		return checkAgainstBaseline(checkPath, cal, entries)
+	}
+	return writeBenchFile(outPath, "funnel-read-bench/v1", cal, entries)
+}

@@ -47,12 +47,37 @@ type benchEntry struct {
 
 // benchFile is the committed BENCH_<n>.json document.
 type benchFile struct {
-	Schema     string       `json:"schema"`
-	GoVersion  string       `json:"go"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	CPUs       int          `json:"cpus,omitempty"`
-	Benchmarks []benchEntry `json:"benchmarks"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus,omitempty"`
+	// CalibrationNs is the ns/op of a fixed floating-point kernel
+	// measured on the host that produced this file. Checks re-measure
+	// the same kernel and scale the ns/op gates by the ratio, so a
+	// baseline recorded on a fast machine does not fail spuriously on a
+	// slower CI host. Zero in older files means "no scaling".
+	CalibrationNs float64      `json:"calibration_ns,omitempty"`
+	Benchmarks    []benchEntry `json:"benchmarks"`
+}
+
+// calSink defeats dead-code elimination of the calibration kernel.
+var calSink float64
+
+// calibrateNs times a dependency-free sequential multiply-add sweep —
+// the same shape as the scorers' inner loops — to fingerprint the
+// host's single-core floating-point speed.
+func calibrateNs() float64 {
+	x := benchWindowSeries(2048)
+	st := measure(2000, func() {
+		var acc, m float64 = 0, 1
+		for _, v := range x {
+			m = m*0.999 + v*1e-6
+			acc += v * m
+		}
+		calSink += acc
+	})
+	return st.NsPerOp
 }
 
 // measure times iters calls of f after a warm-up pass, reading the
@@ -121,6 +146,8 @@ func runBenchSuite(iters int, outPath, checkPath string) error {
 	}
 	fmt.Printf("benchmark suite: %d iterations per scorer entry (%s %s/%s)\n",
 		iters, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	cal := calibrateNs()
+	fmt.Printf("host calibration kernel: %.0f ns/op\n", cal)
 
 	var entries []benchEntry
 	record := func(name string, n int, guard bool, st benchStats) {
@@ -269,21 +296,21 @@ func runBenchSuite(iters int, outPath, checkPath string) error {
 	})
 
 	if checkPath != "" {
-		return checkAgainstBaseline(checkPath, entries)
+		return checkAgainstBaseline(checkPath, cal, entries)
 	}
-	return writeBenchFile(outPath, entries)
+	return writeBenchFile(outPath, "funnel-bench/v1", cal, entries)
 }
 
-// writeBenchFile commits a measured entry set as a funnel-bench/v1
-// baseline document.
-func writeBenchFile(outPath string, entries []benchEntry) error {
+// writeBenchFile commits a measured entry set as a baseline document.
+func writeBenchFile(outPath, schema string, cal float64, entries []benchEntry) error {
 	doc := benchFile{
-		Schema:     "funnel-bench/v1",
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		CPUs:       runtime.NumCPU(),
-		Benchmarks: entries,
+		Schema:        schema,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		CalibrationNs: cal,
+		Benchmarks:    entries,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -314,8 +341,13 @@ const nsHeadroom = 1.6
 //     inside the measurement loop; any real hot-path regression costs at
 //     least one full alloc per op, so a zero baseline still catches it.
 //   - Latency (every entry present in the baseline): ns/op may not
-//     exceed nsHeadroom × baseline.
-func checkAgainstBaseline(path string, measured []benchEntry) error {
+//     exceed nsHeadroom × baseline, scaled by the calibration-kernel
+//     ratio when the baseline recorded one — a host that runs the fixed
+//     kernel 2× slower than the baseline host is allowed 2× the ns/op.
+//     The scale never drops below 1: faster hosts keep the full gate.
+//
+// calNow is this run's calibration-kernel measurement (see calibrateNs).
+func checkAgainstBaseline(path string, calNow float64, measured []benchEntry) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -323,6 +355,13 @@ func checkAgainstBaseline(path string, measured []benchEntry) error {
 	var doc benchFile
 	if err := json.Unmarshal(buf, &doc); err != nil {
 		return fmt.Errorf("parse baseline: %w", err)
+	}
+	scale := 1.0
+	if doc.CalibrationNs > 0 && calNow > doc.CalibrationNs {
+		scale = calNow / doc.CalibrationNs
+	}
+	if scale != 1.0 {
+		fmt.Printf("  host is %.2fx slower than the baseline host — ns gates scaled accordingly\n", scale)
 	}
 	base := make(map[string]benchEntry, len(doc.Benchmarks))
 	for _, e := range doc.Benchmarks {
@@ -344,7 +383,7 @@ func checkAgainstBaseline(path string, measured []benchEntry) error {
 					m.Name, m.After.AllocsPerOp, allowed, b.After.AllocsPerOp)
 			}
 		}
-		if allowedNs := b.After.NsPerOp * nsHeadroom; b.After.NsPerOp > 0 && m.After.NsPerOp > allowedNs {
+		if allowedNs := b.After.NsPerOp * nsHeadroom * scale; b.After.NsPerOp > 0 && m.After.NsPerOp > allowedNs {
 			bad = true
 			fmt.Printf("  %-30s FAIL %.0f ns/op > allowed %.0f (baseline %.0f)\n",
 				m.Name, m.After.NsPerOp, allowedNs, b.After.NsPerOp)

@@ -133,6 +133,19 @@ func render(w io.Writer, addr string, s *snapshot) {
 			len(shards), lo, hi, total, balanceNote(lo, hi))
 	}
 
+	// Chunked-store compression: sealed chunks and how far below the
+	// flat []float64 footprint the resident bytes sit.
+	if comp := last(h.Series["monitor.store_compressed_bytes"]); comp > 0 {
+		raw := last(h.Series["monitor.store_raw_bytes"])
+		note := ""
+		if raw > 0 {
+			note = fmt.Sprintf("  ratio %.1f×", raw/comp)
+		}
+		fmt.Fprintf(w, "store    %s resident (flat %s)  chunks %.0f%s\n",
+			formatBytes(comp), formatBytes(raw),
+			last(h.Series["monitor.store_chunks"]), note)
+	}
+
 	// WAL churn, present only for persistent stores.
 	if wb := last(h.Series["monitor.wal_bytes"]); wb > 0 || len(h.Series[obs.CtrWALAppends]) > 0 {
 		fmt.Fprintf(w, "wal      %s on disk  appends %.0f  syncs %.0f  compactions %.0f  rotations %d\n",

@@ -21,6 +21,9 @@ func fixtureServer(t *testing.T) *httptest.Server {
 	c.Add(obs.CtrBatchFrames, 12)
 	c.SetGaugeFunc(obs.LabeledName("monitor.shard_series", "shard", "0"), func() int64 { return 40 })
 	c.SetGaugeFunc(obs.LabeledName("monitor.shard_series", "shard", "1"), func() int64 { return 44 })
+	c.SetGaugeFunc("monitor.store_chunks", func() int64 { return 672 })
+	c.SetGaugeFunc("monitor.store_compressed_bytes", func() int64 { return 1 << 20 })
+	c.SetGaugeFunc("monitor.store_raw_bytes", func() int64 { return 4 << 20 })
 	c.Observe(obs.StageAssess, 3*time.Millisecond)
 	c.Observe(obs.StageBinToVerdict, 42*time.Second)
 	// Hour-long step: the synchronous first scrape fills the ring and
@@ -67,6 +70,9 @@ func TestPollAndRender(t *testing.T) {
 		"2 stripes",       // shard panel found both gauges
 		"min 40 max 44",   // per-shard spread
 		"(balanced)",      //
+		"1.0MiB resident", // compressed-store panel
+		"chunks 672",      //
+		"ratio 4.0×",      //
 		"bin_to_verdict",  // stage panel includes the new stage
 		"chg-9",           // recent-verdicts panel
 		" 1/ 2 flagged",   // one flagged KPI of two

@@ -36,13 +36,20 @@ var ErrShortPrePeriod = errors.New("did: pre-change history too short for a plac
 // real decision; samples are normalized with NormalizeGroups first so
 // the bound is comparable.
 func ParallelTrends(treated, control *timeseries.Series, t, w int, alphaThreshold float64) (TrendCheck, error) {
-	if t-2*w < 0 || t > treated.Len() || t > control.Len() {
+	return ParallelTrendsAt(treated, control, t, t, w, alphaThreshold)
+}
+
+// ParallelTrendsAt is ParallelTrends for series whose bin 0 falls at
+// different times: t indexes the change in treated's timeline, ct in
+// control's. With equal indices it is exactly ParallelTrends.
+func ParallelTrendsAt(treated, control *timeseries.Series, t, ct, w int, alphaThreshold float64) (TrendCheck, error) {
+	if t-2*w < 0 || t > treated.Len() || ct-2*w < 0 || ct > control.Len() {
 		return TrendCheck{}, ErrShortPrePeriod
 	}
 	tEarly := treated.Values[t-2*w : t-w]
 	tLate := treated.Values[t-w : t]
-	cEarly := control.Values[t-2*w : t-w]
-	cLate := control.Values[t-w : t]
+	cEarly := control.Values[ct-2*w : ct-w]
+	cLate := control.Values[ct-w : ct]
 	np, nq, ncp, ncq := NormalizeGroups(tEarly, tLate, cEarly, cLate)
 	res, err := Estimate(np, nq, ncp, ncq)
 	if err != nil {

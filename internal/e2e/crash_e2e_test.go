@@ -246,6 +246,85 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryChunkedSnapshot runs the crash/restart cycle with a
+// chunk span small enough that sealed, compressed chunks exist — the
+// 500-bin run never seals a default 512-bin chunk — and with a
+// compaction mid-run, so recovery reads a chunked v2 snapshot plus a
+// WAL suffix. The recovered store must serialize byte-identically to an
+// uninterrupted chunked run and produce the same verdicts.
+func TestCrashRecoveryChunkedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opts := noBG
+	opts.ChunkSpan = 64
+
+	appendAll := func(s *monitor.Store, lo, hi int) {
+		for bin := lo; bin < hi; bin++ {
+			for _, srv := range servers {
+				s.Append(monitor.Measurement{Key: key(srv), T: epoch.Add(time.Duration(bin) * time.Minute), V: value(srv, bin)})
+			}
+		}
+	}
+
+	ref := monitor.NewStore(epoch, time.Minute)
+	ref.SetChunkSpan(opts.ChunkSpan)
+	appendAll(ref, 0, totalBins)
+
+	storeA, err := monitor.OpenPersistent(dir, epoch, time.Minute, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const compactAt = changeBin + 10
+	appendAll(storeA, 0, compactAt)
+	if err := storeA.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(storeA, compactAt, totalBins)
+	// Abandon without Close: the snapshot plus per-append WAL flushes
+	// are all a restart gets.
+
+	storeB, err := monitor.OpenPersistent(dir, epoch, time.Minute, opts)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer storeB.Close()
+	rec := storeB.Recovered()
+	if rec.SnapshotSeries == 0 {
+		t.Fatal("compaction left no snapshot — the chunked snapshot path was not exercised")
+	}
+	if rec.WALRecords == 0 {
+		t.Fatal("no WAL suffix replayed on top of the snapshot — test is vacuous")
+	}
+	if st := storeB.Stats(); st.Chunks == 0 {
+		t.Fatalf("recovered store holds no sealed chunks (stats %+v)", st)
+	}
+
+	var got, want bytes.Buffer
+	if err := storeB.WriteSnapshot(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteSnapshot(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("recovered chunked store differs from uninterrupted run: %d vs %d snapshot bytes", got.Len(), want.Len())
+	}
+
+	gotV := verdicts(assess(t, storeB))
+	wantV := verdicts(assess(t, ref))
+	for _, srv := range servers {
+		if gotV[srv] != wantV[srv] {
+			t.Errorf("%s: chunked recovery verdict %v != reference %v", srv, gotV[srv], wantV[srv])
+		}
+		want := funnel.NoChange
+		if treated[srv] {
+			want = funnel.ChangedBySoftware
+		}
+		if gotV[srv] != want {
+			t.Errorf("%s: verdict %v, want %v", srv, gotV[srv], want)
+		}
+	}
+}
+
 // TestCrashRecoveryColdRestart covers the other restart path: no
 // publishers survive the crash (agents died with the server), so the
 // recovered prefix is all the data there is — and the assessor must

@@ -317,10 +317,15 @@ func (r *Report) Flagged() []Assessment {
 type Assessor struct {
 	cfg    Config
 	source SeriesSource
+	// win is source's windowed face when it has one (monitor.Store);
+	// nil sources keep the flat full-series reads.
+	win    WindowSource
 	topo   *topo.Topology
 	scorer sst.Scorer
 	det    *detect.Detector
 	obs    *obs.Collector
+	// fetchBufs recycles windowed-fetch buffers across Assess calls.
+	fetchBufs sync.Pool
 }
 
 // NewAssessor builds an assessor. It returns an error when the SST
@@ -363,7 +368,8 @@ func NewAssessor(source SeriesSource, tp *topo.Topology, cfg Config) (*Assessor,
 			}
 		}
 	}
-	return &Assessor{cfg: cfg, source: source, topo: tp, scorer: scorer, det: det, obs: cfg.Obs}, nil
+	win, _ := source.(WindowSource)
+	return &Assessor{cfg: cfg, source: source, win: win, topo: tp, scorer: scorer, det: det, obs: cfg.Obs}, nil
 }
 
 // InstrumentScorer wraps a scorer so every sliding-window evaluation
@@ -436,6 +442,18 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 	// control group compute it once.
 	n := len(keys)
 	cache := &avgCache{}
+	// With a windowed source, all series reads of this assessment go
+	// through a shared fetcher that decodes only the assessable window
+	// of each KPI once, into pooled buffers released with the fetcher.
+	src := a.source
+	var fx *winFetcher
+	if a.win != nil {
+		fx = newWinFetcher(a.win, change.At, &a.cfg, &a.fetchBufs)
+		src = fx
+		// Reports carry indices and scalars, never fetched values, so
+		// the buffers can recycle as soon as this assessment returns.
+		defer fx.release()
+	}
 	assessments := make([]Assessment, n)
 	bins := make([]int, n)
 	var kts []*obs.KPITrace
@@ -448,7 +466,7 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 			kt = &obs.KPITrace{Key: keys[i].String()}
 			kts[i] = kt
 		}
-		assessments[i], bins[i] = a.assessKPI(change, set, keys[i], kt, cache)
+		assessments[i], bins[i] = a.assessKPI(change, set, keys[i], kt, cache, src, fx)
 	}
 	workers := a.cfg.AssessWorkers
 	if workers <= 0 {
@@ -533,8 +551,11 @@ func (a *Assessor) Assess(change changelog.Change) (*Report, error) {
 // the last valid one on the report). kt, when non-nil, accumulates this
 // KPI's stage trace; the caller attaches it to the change trace after
 // all workers finish. cache memoizes group averages across the KPIs of
-// one assessment.
-func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, kt *obs.KPITrace, cache *avgCache) (out Assessment, bin int) {
+// one assessment. src is where series come from — the windowed fetcher
+// when the store supports it, the raw source otherwise — and fx (nil on
+// the flat path) translates window-relative bin indices back to
+// full-series positions for everything the report carries.
+func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, kt *obs.KPITrace, cache *avgCache, src SeriesSource, fx *winFetcher) (out Assessment, bin int) {
 	out = Assessment{Key: key}
 	bin = -1
 	if kt != nil {
@@ -553,12 +574,12 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 			}
 		}()
 	}
-	series, ok := a.source.Series(key)
+	series, ok := src.Series(key)
 	if !ok && key.Scope == topo.ScopeService {
 		// The paper's centralized database stores service KPIs as
 		// aggregations of instance KPIs (§2.2); when the source lacks
 		// the aggregate, compute it from the service's instances.
-		if agg, err := a.groupAverage(cache, a.topo.InstancesOf(key.Entity), key.Metric); err == nil {
+		if agg, err := a.groupAverage(cache, src, a.topo.InstancesOf(key.Entity), key.Metric); err == nil {
 			series, ok = agg, true
 		}
 	}
@@ -572,10 +593,14 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		// Dark Launching the aggregate dilutes the effect by the
 		// untreated instances, so both detection and determination run
 		// on the tinstance average instead.
-		if treated, err := a.groupAverage(cache, set.TInstances, key.Metric); err == nil {
+		if treated, err := a.groupAverage(cache, src, set.TInstances, key.Metric); err == nil {
 			series = treated
 		}
 	}
+	// Everything below indexes into series' own timeline; off maps those
+	// positions back to the full-series frame for report consumers (0 on
+	// the flat path, where the two frames coincide).
+	off := fx.offsetOf(series)
 	// Gap accounting runs on the raw series, before interpolation: a
 	// bin is missing when no measurement ever arrived for it. The
 	// change bin is computed arithmetically so a feed severed before
@@ -589,7 +614,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 		out.Err = fmt.Errorf("funnel: change time outside series for %v", key)
 		return out, bin
 	}
-	bin = changeBin
+	bin = changeBin + off
 
 	// Feed-health gate: a window with too many missing bins, or one
 	// whose feed went stale mid-window, cannot support a verdict in
@@ -619,6 +644,10 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 	if !found {
 		return out, bin // step 3: no performance change
 	}
+	detection.Start += off
+	detection.DeclaredAt += off
+	detection.AvailableAt += off
+	detection.End += off
 	out.Detection = detection
 	if a.cfg.SkipDiD {
 		out.Verdict = ChangedBySoftware
@@ -626,7 +655,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 	}
 
 	// Steps 4–11: determine the cause.
-	det, err := a.determine(change, set, key, series, changeBin, kt, cache)
+	det, err := a.determine(change, set, key, series, changeBin, kt, cache, src)
 	out.Alpha = det.res.Alpha
 	out.TStat = det.res.TStat
 	out.ControlKind = det.kind
@@ -748,7 +777,7 @@ type determination struct {
 // determine applies the Fig. 3 decision tree for cause determination.
 // Control-group selection and DiD estimation are timed as separate
 // stages.
-func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int, kt *obs.KPITrace, cache *avgCache) (determination, error) {
+func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key topo.KPIKey, series *timeseries.Series, changeBin int, kt *obs.KPITrace, cache *avgCache, src SeriesSource) (determination, error) {
 	w := a.cfg.DiDWindow
 	if changeBin-w < 0 || changeBin+w > series.Len() {
 		return determination{}, fmt.Errorf("funnel: DiD periods out of range for %v", key)
@@ -771,7 +800,7 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 	if set.Dark() && len(controls) > 0 {
 		// Steps 8–10: concurrent control group.
 		out := determination{kind: ControlConcurrent}
-		control, cerr := a.controlAverage(cache, controls)
+		control, cerr := a.controlAverage(cache, src, controls)
 		if cerr != nil {
 			a.stamp(kt, obs.StageDiDControl, tc)
 			return determination{}, cerr
@@ -796,7 +825,10 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 			return determination{similarity: out.similarity}, derr
 		}
 		if a.cfg.VerifyParallelTrends {
-			if chk, terr := did.ParallelTrends(series, control, changeBin, w, a.cfg.AlphaThreshold); terr == nil && !chk.Parallel {
+			// cb locates the change in the control's own timeline: when a
+			// windowed fetch fell back to a full series on one side, the
+			// two series' bin 0 differ, and equal indices would misalign.
+			if chk, terr := did.ParallelTrendsAt(series, control, changeBin, cb, w, a.cfg.AlphaThreshold); terr == nil && !chk.Parallel {
 				out.trendWarn = true
 			}
 		}
@@ -879,20 +911,20 @@ type avgEntry struct {
 }
 
 // groupAverage averages one metric across a set of instances.
-func (a *Assessor) groupAverage(cache *avgCache, instances []string, metric string) (*timeseries.Series, error) {
+func (a *Assessor) groupAverage(cache *avgCache, src SeriesSource, instances []string, metric string) (*timeseries.Series, error) {
 	keys := make([]topo.KPIKey, 0, len(instances))
 	for _, in := range instances {
 		keys = append(keys, topo.KPIKey{Scope: topo.ScopeInstance, Entity: in, Metric: metric})
 	}
-	return a.controlAverage(cache, keys)
+	return a.controlAverage(cache, src, keys)
 }
 
 // controlAverage pulls and averages the control-group series (§3.2.4
 // uses the average of all control KPIs so hotspots wash out), memoizing
 // per assessment when a cache is supplied.
-func (a *Assessor) controlAverage(cache *avgCache, keys []topo.KPIKey) (*timeseries.Series, error) {
+func (a *Assessor) controlAverage(cache *avgCache, src SeriesSource, keys []topo.KPIKey) (*timeseries.Series, error) {
 	if cache == nil {
-		return a.averageSeries(keys)
+		return a.averageSeries(src, keys)
 	}
 	var sb strings.Builder
 	for _, k := range keys {
@@ -901,16 +933,16 @@ func (a *Assessor) controlAverage(cache *avgCache, keys []topo.KPIKey) (*timeser
 	}
 	e, _ := cache.m.LoadOrStore(sb.String(), &avgEntry{})
 	entry := e.(*avgEntry)
-	entry.once.Do(func() { entry.s, entry.err = a.averageSeries(keys) })
+	entry.once.Do(func() { entry.s, entry.err = a.averageSeries(src, keys) })
 	return entry.s, entry.err
 }
 
 // averageSeries is the uncached align-and-average over whichever of the
 // keys resolve to series.
-func (a *Assessor) averageSeries(keys []topo.KPIKey) (*timeseries.Series, error) {
+func (a *Assessor) averageSeries(src SeriesSource, keys []topo.KPIKey) (*timeseries.Series, error) {
 	var series []*timeseries.Series
 	for _, k := range keys {
-		s, ok := a.source.Series(k)
+		s, ok := src.Series(k)
 		if !ok {
 			continue
 		}

@@ -1,0 +1,219 @@
+package funnel
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/timeseries"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// The store must keep offering the windowed face; losing it silently
+// falls the assessor back to full-series copies.
+var _ WindowSource = (*monitor.Store)(nil)
+
+// flatStore narrows a monitor.Store to its Series-only face, so an
+// assessor built over it takes the flat full-copy path while reading
+// the exact same bits as the windowed assessor.
+type flatStore struct{ st *monitor.Store }
+
+func (f flatStore) Series(key topo.KPIKey) (*timeseries.Series, bool) { return f.st.Series(key) }
+
+// storeFromScenario ingests every scenario series into a chunked store.
+// NaN bins are skipped, not written: a store bin with no measurement
+// already reads as NaN, so gaps survive the trip.
+func storeFromScenario(t *testing.T, sc *workload.Scenario, span int) *monitor.Store {
+	t.Helper()
+	st := monitor.NewStore(sc.Start, sc.Step)
+	st.SetChunkSpan(span)
+	for _, key := range sc.Source.Keys() {
+		s, _ := sc.Source.Series(key)
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			st.Append(monitor.Measurement{Key: key, T: s.Start.Add(time.Duration(i) * s.Step), V: v})
+		}
+	}
+	return st
+}
+
+// TestWindowedAssessMatchesFlat is the tentpole equality gate: over a
+// config matrix and several chunk spans, assessing from the windowed
+// store path must produce reports reflect.DeepEqual to the flat
+// full-series path reading the same store — same verdicts, same
+// detection indices in the full-series frame, same error strings.
+func TestWindowedAssessMatchesFlat(t *testing.T) {
+	p := workload.DefaultParams()
+	p.Changes = 4
+	p.HistoryDays = 2
+	p.ConfounderFraction = 0.5
+	sc, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Punch a wide gap run into a few series around where the fetch
+	// window for the assessment-day changes begins, so the NaN-boundary
+	// fallback branch is exercised alongside clean windowed fetches.
+	keys := sc.Source.Keys()
+	for i := 0; i < 3 && i < len(keys); i++ {
+		s, _ := sc.Source.Series(keys[i])
+		for b := 480; b < 700 && b < s.Len(); b++ {
+			s.Values[b] = math.NaN()
+		}
+	}
+
+	matrix := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", nil},
+		{"gapmask", func(c *Config) { c.GapPolicy = GapMask }},
+		{"workers4", func(c *Config) { c.AssessWorkers = 4 }},
+		{"skipdid", func(c *Config) { c.SkipDiD = true }},
+		{"skipdetection", func(c *Config) { c.SkipDetection = true }},
+		{"trends", func(c *Config) { c.VerifyParallelTrends = true; c.AssessWorkers = 4 }},
+		{"history1", func(c *Config) { c.HistoryDays = 1 }},
+	}
+
+	for _, span := range []int{64, 512} {
+		st := storeFromScenario(t, sc, span)
+		for _, m := range matrix {
+			t.Run(fmt.Sprintf("span%d/%s", span, m.name), func(t *testing.T) {
+				cfg := Config{
+					ServerMetrics:   workload.ServerMetrics(),
+					InstanceMetrics: workload.InstanceMetrics(),
+					HistoryDays:     2,
+				}
+				if m.mutate != nil {
+					m.mutate(&cfg)
+				}
+				win, err := NewAssessor(st, sc.Topo, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flat, err := NewAssessor(flatStore{st}, sc.Topo, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				changes := make([]struct {
+					label string
+					at    time.Time
+				}, 0, len(sc.Cases)+2)
+				for i, cs := range sc.Cases {
+					changes = append(changes, struct {
+						label string
+						at    time.Time
+					}{fmt.Sprintf("case%d", i), cs.Change.At})
+				}
+				// Degenerate change times: near the epoch (fetch window
+				// clamps to bin 0) and before it (negative change bin).
+				changes = append(changes,
+					struct {
+						label string
+						at    time.Time
+					}{"near-start", sc.Start.Add(40 * sc.Step)},
+					struct {
+						label string
+						at    time.Time
+					}{"before-start", sc.Start.Add(-2 * time.Hour)},
+				)
+				for _, cc := range changes {
+					ch := sc.Cases[0].Change
+					ch.At = cc.at
+					got, gerr := win.Assess(ch)
+					want, werr := flat.Assess(ch)
+					if (gerr == nil) != (werr == nil) || (gerr != nil && gerr.Error() != werr.Error()) {
+						t.Fatalf("%s: err %v vs flat %v", cc.label, gerr, werr)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s: windowed report diverges from flat\n got: %+v\nwant: %+v", cc.label, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWindowedAssessRepeatable pins worker-count independence on the
+// windowed path itself: serial and fanned-out assessments of the same
+// change must be identical (the fetch cache is shared per assessment).
+func TestWindowedAssessRepeatable(t *testing.T) {
+	sc := smallScenario(t, 2)
+	st := storeFromScenario(t, sc, 64)
+	serial := newAssessorOver(t, st, sc, func(c *Config) { c.AssessWorkers = 1 })
+	fanned := newAssessorOver(t, st, sc, func(c *Config) { c.AssessWorkers = 8 })
+	for _, cs := range sc.Cases {
+		a, err := serial.Assess(cs.Change)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fanned.Assess(cs.Change)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("worker fan-out changed the windowed report")
+		}
+	}
+}
+
+// TestWinFetcherReturnsTrueWindows proves the windowed path engages:
+// for a change late in a long retention the fetched series must be a
+// strict window of the full series, not the fallback full copy, and its
+// offset must map window bins back to full-series positions.
+func TestWinFetcherReturnsTrueWindows(t *testing.T) {
+	sc := smallScenario(t, 1)
+	st := storeFromScenario(t, sc, 64)
+	a := newAssessorOver(t, st, sc, nil)
+	fx := newWinFetcher(a.win, sc.Cases[0].Change.At, &a.cfg, &a.fetchBufs)
+	defer fx.release()
+	windowed := 0
+	for _, key := range sc.Source.Keys() {
+		full, ok := st.Series(key)
+		if !ok {
+			t.Fatalf("store lost %v", key)
+		}
+		got, ok := fx.Series(key)
+		if !ok {
+			t.Fatalf("fetcher lost %v", key)
+		}
+		off := fx.offsetOf(got)
+		if got.Len()+off > full.Len() || off < 0 {
+			t.Fatalf("%v: window [off %d, len %d] outside full len %d", key, off, got.Len(), full.Len())
+		}
+		for i := 0; i < got.Len(); i++ {
+			if math.Float64bits(got.Values[i]) != math.Float64bits(full.Values[i+off]) {
+				t.Fatalf("%v: window bin %d differs from full bin %d", key, i, i+off)
+			}
+		}
+		if got.Len() < full.Len() {
+			windowed++
+		}
+	}
+	if windowed == 0 {
+		t.Fatal("every fetch fell back to the full series — windowed path never engaged")
+	}
+}
+
+func newAssessorOver(t *testing.T, src SeriesSource, sc *workload.Scenario, mutate func(*Config)) *Assessor {
+	t.Helper()
+	cfg := Config{
+		ServerMetrics:   workload.ServerMetrics(),
+		InstanceMetrics: workload.InstanceMetrics(),
+		HistoryDays:     2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	a, err := NewAssessor(src, sc.Topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

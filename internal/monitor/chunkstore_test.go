@@ -1,0 +1,352 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// chunkedStore builds a store with a small chunk span so sealing,
+// head-pruning and multi-chunk windows all exercise in small tests.
+func chunkedStore(t *testing.T, span int) *Store {
+	t.Helper()
+	s := NewStore(t0, time.Minute)
+	s.SetChunkSpan(span)
+	return s
+}
+
+// fillRandom appends a deterministic mix of values, gaps, repeats and
+// out-of-order late writes for n bins of key k.
+func fillRandom(s *Store, k topo.KPIKey, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0: // leave a gap
+		case 1: // constant count
+			s.Append(Measurement{k, t0.Add(time.Duration(i) * time.Minute), 500})
+		default:
+			s.Append(Measurement{k, t0.Add(time.Duration(i) * time.Minute), float64(rng.Intn(1000))})
+		}
+		if rng.Intn(20) == 0 && i > 10 {
+			// Out-of-order: patch a bin far enough back to be sealed.
+			j := rng.Intn(i)
+			s.Append(Measurement{k, t0.Add(time.Duration(j) * time.Minute), float64(j)})
+		}
+	}
+}
+
+// sameBits asserts two float slices are bit-identical.
+func sameBits(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len = %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: bin %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRangeIntoMatchesSeries(t *testing.T) {
+	for _, span := range []int{2, 7, 64} {
+		s := chunkedStore(t, span)
+		fillRandom(s, kCPU, 500, int64(span))
+		full, ok := s.Series(kCPU)
+		if !ok {
+			t.Fatal("series missing")
+		}
+		rng := rand.New(rand.NewSource(99))
+		dst := make([]float64, 0, full.Len())
+		for trial := 0; trial < 200; trial++ {
+			lo := rng.Intn(full.Len())
+			hi := lo + 1 + rng.Intn(full.Len()-lo)
+			from := t0.Add(time.Duration(lo) * time.Minute)
+			to := t0.Add(time.Duration(hi) * time.Minute)
+			vals, wstart, ok := s.RangeInto(kCPU, from, to, dst)
+			if !ok {
+				t.Fatalf("span %d: RangeInto [%d,%d) not ok", span, lo, hi)
+			}
+			if !wstart.Equal(from) {
+				t.Fatalf("span %d: window start %v, want %v", span, wstart, from)
+			}
+			sameBits(t, vals, full.Values[lo:hi], "window")
+			dst = vals[:0]
+		}
+	}
+}
+
+func TestRangeIntoMatchesRange(t *testing.T) {
+	// The legacy Range API must agree with RangeInto bin for bin,
+	// including the clamping conventions at the edges.
+	s := chunkedStore(t, 8)
+	fillRandom(s, kCPU, 100, 4)
+	cases := []struct{ lo, hi int }{{0, 100}, {0, 5}, {95, 100}, {3, 97}, {50, 51}}
+	for _, c := range cases {
+		from := t0.Add(time.Duration(c.lo) * time.Minute)
+		to := t0.Add(time.Duration(c.hi) * time.Minute)
+		ser, ok := s.Range(kCPU, from, to)
+		vals, _, ok2 := s.RangeInto(kCPU, from, to, nil)
+		if !ok || !ok2 {
+			t.Fatalf("[%d,%d): ok=%v ok2=%v", c.lo, c.hi, ok, ok2)
+		}
+		sameBits(t, vals, ser.Values, "range")
+	}
+	// Empty and unknown windows fail in both.
+	if _, ok := s.Range(kCPU, t0.Add(500*time.Minute), t0.Add(600*time.Minute)); ok {
+		t.Fatal("past-end Range should be !ok")
+	}
+	if _, _, ok := s.RangeInto(kCPU, t0.Add(500*time.Minute), t0.Add(600*time.Minute), nil); ok {
+		t.Fatal("past-end RangeInto should be !ok")
+	}
+	if _, _, ok := s.RangeInto(kPV, t0, t0.Add(time.Minute), nil); ok {
+		t.Fatal("unknown key should be !ok")
+	}
+}
+
+func TestRangeIntoAfterPrune(t *testing.T) {
+	for _, span := range []int{4, 16} {
+		s := chunkedStore(t, span)
+		fillRandom(s, kCPU, 300, 7)
+		before, _ := s.Series(kCPU)
+		// Prune mid-chunk: head skipping must keep logical alignment.
+		drop := span*3 + span/2
+		s.Prune(t0.Add(time.Duration(drop) * time.Minute))
+		after, ok := s.Series(kCPU)
+		if !ok {
+			t.Fatal("series missing after prune")
+		}
+		sameBits(t, after.Values, before.Values[drop:], "pruned series")
+		if !after.Start.Equal(t0.Add(time.Duration(drop) * time.Minute)) {
+			t.Fatalf("pruned start = %v", after.Start)
+		}
+		vals, _, ok := s.RangeInto(kCPU, after.Start.Add(5*time.Minute), after.Start.Add(50*time.Minute), nil)
+		if !ok {
+			t.Fatal("windowed read after prune failed")
+		}
+		sameBits(t, vals, after.Values[5:50], "pruned window")
+	}
+}
+
+func TestPruneDropsWholeChunks(t *testing.T) {
+	s := chunkedStore(t, 10)
+	for i := 0; i < 100; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	if st := s.Stats(); st.Chunks != 10 {
+		t.Fatalf("chunks = %d, want 10", st.Chunks)
+	}
+	s.Prune(t0.Add(35 * time.Minute)) // 3 whole chunks + head 5
+	st := s.Stats()
+	if st.Chunks != 7 {
+		t.Fatalf("chunks after prune = %d, want 7", st.Chunks)
+	}
+	if st.Bins != 65 {
+		t.Fatalf("bins after prune = %d, want 65", st.Bins)
+	}
+	ser, _ := s.Series(kCPU)
+	for i, v := range ser.Values {
+		if v != float64(i+35) {
+			t.Fatalf("bin %d = %v, want %v", i, v, float64(i+35))
+		}
+	}
+	// Prune everything: the series must vanish.
+	s.Prune(t0.Add(200 * time.Minute))
+	if st := s.Stats(); st.SeriesCount != 0 || st.Chunks != 0 {
+		t.Fatalf("stats after full prune = %+v", st)
+	}
+}
+
+func TestLateWriteIntoSealedChunk(t *testing.T) {
+	s := chunkedStore(t, 8)
+	for i := 0; i < 40; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	// Bin 3 is sealed in the first chunk; overwrite it.
+	s.Append(Measurement{kCPU, t0.Add(3 * time.Minute), 999})
+	ser, _ := s.Series(kCPU)
+	if ser.Values[3] != 999 {
+		t.Fatalf("late write lost: bin 3 = %v", ser.Values[3])
+	}
+	for i, want := range []float64{0, 1, 2} {
+		if ser.Values[i] != want {
+			t.Fatalf("bin %d corrupted: %v", i, ser.Values[i])
+		}
+	}
+}
+
+func TestRangeIntoAllocs(t *testing.T) {
+	s := chunkedStore(t, 64)
+	for i := 0; i < 640; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i % 250)})
+	}
+	dst := make([]float64, 0, 256)
+	from, to := t0.Add(100*time.Minute), t0.Add(300*time.Minute)
+	if n := testing.AllocsPerRun(100, func() {
+		vals, _, ok := s.RangeInto(kCPU, from, to, dst)
+		if !ok {
+			t.Fatal("window read failed")
+		}
+		dst = vals[:0]
+	}); n != 0 {
+		t.Fatalf("RangeInto allocates %v per op, want 0", n)
+	}
+}
+
+func TestStatsCompression(t *testing.T) {
+	s := chunkedStore(t, 100)
+	for i := 0; i < 1050; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(2000 + i%10)})
+	}
+	st := s.Stats()
+	if st.Chunks != 10 || st.TailBins != 50 || st.Bins != 1050 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CompressedBytes <= 0 || st.CompressedBytes >= 1000*8 {
+		t.Fatalf("compressed bytes = %d, want in (0, %d)", st.CompressedBytes, 1000*8)
+	}
+	if want := st.CompressedBytes + 50*8; st.ApproxBytes != want {
+		t.Fatalf("approx bytes = %d, want %d", st.ApproxBytes, want)
+	}
+}
+
+func TestSnapshotChunkedRoundTrip(t *testing.T) {
+	s := chunkedStore(t, 16)
+	fillRandom(s, kCPU, 200, 21)
+	fillRandom(s, kPV, 77, 22)
+	s.Prune(t0.Add(20 * time.Minute)) // non-zero head survives the trip
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ChunkSpan() != 16 {
+		t.Fatalf("restored span = %d, want 16", got.ChunkSpan())
+	}
+	for _, k := range []topo.KPIKey{kCPU, kPV} {
+		want, _ := s.Series(k)
+		have, ok := got.Series(k)
+		if !ok {
+			t.Fatalf("series %v missing after restore", k)
+		}
+		if !have.Start.Equal(want.Start) {
+			t.Fatalf("start = %v, want %v", have.Start, want.Start)
+		}
+		sameBits(t, have.Values, want.Values, k.Metric)
+	}
+	// A second snapshot of the restored store must be byte-identical:
+	// chunks are stored verbatim and the encoder is deterministic.
+	var buf2 bytes.Buffer
+	if err := s.WriteSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := got.WriteSnapshot(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("restored store snapshots differently than the original")
+	}
+}
+
+// TestSnapshotV1Read builds a version-1 flat snapshot by hand and
+// checks the reader seals it into the requested span.
+func TestSnapshotV1Read(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	var w [8]byte
+	binary.BigEndian.PutUint16(w[:2], snapshotVersionOld)
+	buf.Write(w[:2])
+	binary.BigEndian.PutUint64(w[:], uint64(t0.UnixNano()))
+	buf.Write(w[:])
+	binary.BigEndian.PutUint64(w[:], uint64(time.Minute))
+	buf.Write(w[:])
+	binary.BigEndian.PutUint32(w[:4], 1) // series count
+	buf.Write(w[:4])
+	buf.WriteByte(byte(kCPU.Scope))
+	binary.BigEndian.PutUint16(w[:2], uint16(len(kCPU.Entity)))
+	buf.Write(w[:2])
+	buf.WriteString(kCPU.Entity)
+	binary.BigEndian.PutUint16(w[:2], uint16(len(kCPU.Metric)))
+	buf.Write(w[:2])
+	buf.WriteString(kCPU.Metric)
+	vals := make([]float64, 25)
+	for i := range vals {
+		vals[i] = float64(i * i)
+	}
+	binary.BigEndian.PutUint32(w[:4], uint32(len(vals)))
+	buf.Write(w[:4])
+	for _, v := range vals {
+		binary.BigEndian.PutUint64(w[:], math.Float64bits(v))
+		buf.Write(w[:])
+	}
+
+	got, err := readSnapshotShards(&buf, StoreShards, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Stats()
+	if st.Chunks != 2 || st.TailBins != 5 {
+		t.Fatalf("v1 upgrade stats = %+v, want 2 chunks + 5 tail bins", st)
+	}
+	ser, ok := got.Series(kCPU)
+	if !ok {
+		t.Fatal("series missing")
+	}
+	sameBits(t, ser.Values, vals, "v1 upgrade")
+}
+
+func TestReplaySinceChunked(t *testing.T) {
+	flat := NewStore(t0, time.Minute)
+	ck := chunkedStore(t, 8)
+	for _, s := range []*Store{flat, ck} {
+		fillRandom(s, kCPU, 120, 31)
+		fillRandom(s, kPV, 90, 32)
+	}
+	since := t0.Add(37 * time.Minute)
+	a := flat.ReplaySince(nil, since)
+	b := ck.ReplaySince(nil, since)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Order ties are unspecified across keys; compare as multisets
+		// per timestamp by sorting equal-time runs on the fly is
+		// overkill — the deterministic fill gives unique (key, bin)
+		// values, so a simple containment check suffices.
+		found := false
+		for j := range b {
+			if a[i].Key == b[j].Key && a[i].T.Equal(b[j].T) && math.Float64bits(a[i].V) == math.Float64bits(b[j].V) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("measurement %+v missing from chunked replay", a[i])
+		}
+	}
+}
+
+func TestSetChunkSpanGuards(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	s.SetChunkSpan(1) // clamps to 2
+	if s.ChunkSpan() != 2 {
+		t.Fatalf("span = %d, want clamp to 2", s.ChunkSpan())
+	}
+	s.Append(Measurement{kCPU, t0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetChunkSpan on a populated store should panic")
+		}
+	}()
+	s.SetChunkSpan(64)
+}

@@ -9,25 +9,39 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/topo"
 )
 
 // Snapshot format: a durable dump of a Store, so a FUNNEL deployment
 // can restart without losing the 30-day baselines the seasonal DiD
-// needs (§3.2.5). Layout (all integers big-endian):
+// needs (§3.2.5). Version 2 stores each series' sealed chunks
+// verbatim — the snapshot is as compressed as the resident store, and
+// recovery skips re-encoding. Layout (all integers big-endian):
 //
 //	magic "FNLS" | version uint16 | startUnixNano int64 |
-//	stepNanos int64 | seriesCount uint32, then per series:
+//	stepNanos int64 | chunkSpan uint32 | seriesCount uint32,
+//	then per series:
 //	  scope uint8 | entityLen uint16 | entity | metricLen uint16 |
-//	  metric | binCount uint32 | binCount × float64 bits
+//	  metric | head uint32 | chunkCount uint32,
+//	  then per sealed chunk (each holding exactly chunkSpan bins):
+//	    encLen uint32 | encLen encoded bytes (see internal/chunk),
+//	  then tailCount uint32 | tailCount × float64 bits
 //
-// NaN gaps are stored as-is (quiet NaN bits round-trip exactly).
-// Series are written in sorted key order (scope, entity, metric), so
-// two stores with identical contents produce byte-identical snapshots —
-// the crash-recovery e2e depends on this.
+// head is the count of already-pruned leading bins inside the first
+// chunk. NaN gaps round-trip exactly (the chunk codec is bit-exact,
+// and the raw tail stores quiet-NaN bits as-is). Series are written in
+// sorted key order (scope, entity, metric) and the chunk encoder is
+// deterministic, so two stores with identical logical contents produce
+// byte-identical snapshots — the crash-recovery e2e depends on this.
+//
+// Version 1 (flat: binCount uint32 | binCount × float64 bits per
+// series, no chunkSpan field) is still read; its bins are sealed into
+// chunks at the reading store's span on the way in.
 const (
-	snapshotMagic   = "FNLS"
-	snapshotVersion = 1
+	snapshotMagic      = "FNLS"
+	snapshotVersion    = 2
+	snapshotVersionOld = 1
 )
 
 // WriteSnapshot dumps the store's full contents in sorted key order.
@@ -80,13 +94,17 @@ func (s *Store) writeSnapshotLocked(w io.Writer) error {
 	if _, err := bw.Write(scratch[:]); err != nil {
 		return err
 	}
+	binary.BigEndian.PutUint32(scratch[:4], uint32(s.span))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
 
 	binary.BigEndian.PutUint32(scratch[:4], uint32(len(keys)))
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return err
 	}
 	for _, key := range keys {
-		buf := s.shards[s.shardIndex(key)].series[key].bins
+		e := s.shards[s.shardIndex(key)].series[key]
 		hdr := []byte{byte(key.Scope)}
 		var err error
 		if hdr, err = appendString(hdr, key.Entity); err != nil {
@@ -98,11 +116,28 @@ func (s *Store) writeSnapshotLocked(w io.Writer) error {
 		if _, err := bw.Write(hdr); err != nil {
 			return err
 		}
-		binary.BigEndian.PutUint32(scratch[:4], uint32(len(buf)))
+		binary.BigEndian.PutUint32(scratch[:4], uint32(e.head))
 		if _, err := bw.Write(scratch[:4]); err != nil {
 			return err
 		}
-		for _, v := range buf {
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(e.chunks)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		for _, c := range e.chunks {
+			binary.BigEndian.PutUint32(scratch[:4], uint32(c.EncodedBytes()))
+			if _, err := bw.Write(scratch[:4]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(c.Data()); err != nil {
+				return err
+			}
+		}
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(e.tail)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		for _, v := range e.tail {
 			binary.BigEndian.PutUint64(scratch[:], math.Float64bits(v))
 			if _, err := bw.Write(scratch[:]); err != nil {
 				return err
@@ -114,13 +149,15 @@ func (s *Store) writeSnapshotLocked(w io.Writer) error {
 
 // ReadSnapshot reconstructs a Store from a snapshot stream.
 func ReadSnapshot(r io.Reader) (*Store, error) {
-	return readSnapshotShards(r, StoreShards)
+	return readSnapshotShards(r, StoreShards, 0)
 }
 
 // readSnapshotShards is ReadSnapshot into a store with the given shard
 // count (recovery reuses it so the reopened store matches the
-// configured striping).
-func readSnapshotShards(r io.Reader, shards int) (*Store, error) {
+// configured striping). span applies only to version-1 snapshots,
+// whose flat bins are re-sealed on the way in (0 means the default);
+// a version-2 snapshot carries its own span and keeps it.
+func readSnapshotShards(r io.Reader, shards, span int) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -133,8 +170,9 @@ func readSnapshotShards(r io.Reader, shards int) (*Store, error) {
 	if _, err := io.ReadFull(br, scratch[:2]); err != nil {
 		return nil, err
 	}
-	if v := binary.BigEndian.Uint16(scratch[:2]); v != snapshotVersion {
-		return nil, fmt.Errorf("monitor: unsupported snapshot version %d", v)
+	version := binary.BigEndian.Uint16(scratch[:2])
+	if version != snapshotVersion && version != snapshotVersionOld {
+		return nil, fmt.Errorf("monitor: unsupported snapshot version %d", version)
 	}
 	if _, err := io.ReadFull(br, scratch[:]); err != nil {
 		return nil, err
@@ -147,12 +185,24 @@ func readSnapshotShards(r io.Reader, shards int) (*Store, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("monitor: bad snapshot step %v", step)
 	}
+	if version >= snapshotVersion {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, err
+		}
+		span = int(binary.BigEndian.Uint32(scratch[:4]))
+		if span < 2 {
+			return nil, fmt.Errorf("monitor: bad snapshot chunk span %d", span)
+		}
+	} else if span < 2 {
+		span = chunk.DefaultSpan
+	}
 	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 		return nil, err
 	}
 	count := binary.BigEndian.Uint32(scratch[:4])
 
 	store := NewStoreShards(start, step, shards)
+	store.span = span
 	for i := uint32(0); i < count; i++ {
 		var b [1]byte
 		if _, err := io.ReadFull(br, b[:]); err != nil {
@@ -170,32 +220,111 @@ func readSnapshotShards(r io.Reader, shards int) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		var e *seriesEntry
+		if version >= snapshotVersion {
+			e, err = readSnapshotEntry(br, span)
+		} else {
+			e, err = readSnapshotEntryV1(br, span)
+		}
+		if err != nil {
 			return nil, err
-		}
-		bins := binary.BigEndian.Uint32(scratch[:4])
-		// Do not pre-allocate from the untrusted count: a corrupt or
-		// malicious header could demand gigabytes. Appending grows the
-		// buffer only as fast as actual payload arrives, so truncated
-		// input fails at ReadFull long before memory does.
-		cap0 := bins
-		if cap0 > 1<<16 {
-			cap0 = 1 << 16
-		}
-		buf := make([]float64, 0, cap0)
-		for j := uint32(0); j < bins; j++ {
-			if _, err := io.ReadFull(br, scratch[:]); err != nil {
-				return nil, err
-			}
-			buf = append(buf, math.Float64frombits(binary.BigEndian.Uint64(scratch[:])))
 		}
 		key := topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
 		// No arrival watermark: the snapshot's data arrived in a previous
 		// process, so bin-to-verdict latency starts fresh on the first
 		// live append.
-		store.shardFor(key).series[key] = &seriesEntry{bins: buf}
+		store.shardFor(key).series[key] = e
 	}
 	return store, nil
+}
+
+// readSnapshotEntry reads one version-2 series body: head, verbatim
+// sealed chunks (validated by a decode pass — a corrupt stream must
+// fail here, not panic on a later read), then the raw tail.
+func readSnapshotEntry(br *bufio.Reader, span int) (*seriesEntry, error) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, err
+	}
+	head := binary.BigEndian.Uint32(scratch[:4])
+	if int(head) >= span {
+		return nil, fmt.Errorf("monitor: snapshot head %d exceeds chunk span %d", head, span)
+	}
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, err
+	}
+	chunkCount := binary.BigEndian.Uint32(scratch[:4])
+	if head > 0 && chunkCount == 0 {
+		return nil, fmt.Errorf("monitor: snapshot head %d with no chunks", head)
+	}
+	e := &seriesEntry{head: int(head)}
+	for c := uint32(0); c < chunkCount; c++ {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, err
+		}
+		encLen := binary.BigEndian.Uint32(scratch[:4])
+		// Bound the pre-allocation by what a span of values can encode
+		// (~9 bytes/value worst case) so a corrupt length fails at
+		// ReadFull instead of demanding gigabytes.
+		if int(encLen) > 10*span {
+			return nil, fmt.Errorf("monitor: snapshot chunk of %d bytes exceeds span %d", encLen, span)
+		}
+		data := make([]byte, encLen)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, err
+		}
+		ck, err := chunk.FromEncoded(data, span)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: snapshot chunk %d: %w", c, err)
+		}
+		e.chunks = append(e.chunks, ck)
+	}
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, err
+	}
+	tailCount := binary.BigEndian.Uint32(scratch[:4])
+	if int(tailCount) >= span {
+		return nil, fmt.Errorf("monitor: snapshot tail of %d bins exceeds chunk span %d", tailCount, span)
+	}
+	for j := uint32(0); j < tailCount; j++ {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return nil, err
+		}
+		e.tail = append(e.tail, math.Float64frombits(binary.BigEndian.Uint64(scratch[:])))
+	}
+	return e, nil
+}
+
+// readSnapshotEntryV1 reads one version-1 flat series body and seals
+// its bins into chunks at the reading store's span.
+func readSnapshotEntryV1(br *bufio.Reader, span int) (*seriesEntry, error) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, err
+	}
+	bins := binary.BigEndian.Uint32(scratch[:4])
+	// Do not pre-allocate from the untrusted count: a corrupt or
+	// malicious header could demand gigabytes. Appending grows the
+	// buffer only as fast as actual payload arrives, so truncated
+	// input fails at ReadFull long before memory does.
+	cap0 := bins
+	if cap0 > 1<<16 {
+		cap0 = 1 << 16
+	}
+	buf := make([]float64, 0, cap0)
+	for j := uint32(0); j < bins; j++ {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return nil, err
+		}
+		buf = append(buf, math.Float64frombits(binary.BigEndian.Uint64(scratch[:])))
+	}
+	e := new(seriesEntry)
+	for len(buf) >= span {
+		e.chunks = append(e.chunks, chunk.Encode(buf[:span]))
+		buf = buf[span:]
+	}
+	e.tail = append([]float64(nil), buf...)
+	return e, nil
 }
 
 // readSnapshotString reads a uint16-length-prefixed string from br.

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/topo"
@@ -53,6 +54,16 @@ type Measurement struct {
 type Store struct {
 	start time.Time // guarded by epochMu (Prune rebases it)
 	step  time.Duration
+
+	// span is the sealed-chunk width in bins: each series keeps its
+	// history as immutable chunk.Chunk blocks of exactly span bins plus
+	// a small mutable tail (see seriesEntry). Set before any append via
+	// SetChunkSpan; immutable afterwards.
+	span int
+
+	// spanScratch pools span-sized decode buffers for the rare late
+	// write into sealed territory (decode → patch → re-encode).
+	spanScratch sync.Pool
 
 	// epochMu orders epoch rebases (Prune, Compact) against appends
 	// and reads. Lock order: epochMu → shard.mu → subMu.
@@ -88,16 +99,46 @@ type storeShard struct {
 	rotations int64
 }
 
-// seriesEntry is one KPI's stored state: the binned values plus the
-// node-local arrival time of the most recent ingested measurement (the
-// ingest high-watermark bin-to-verdict latency is measured against).
-// Both fields are guarded by the owning shard's mutex; arrivalNanos is
-// zero until the first live append (snapshot-restored series carry no
-// watermark — their data's true arrival time died with the previous
-// process).
+// seriesEntry is one KPI's stored state: the binned history as sealed
+// compressed chunks plus a small mutable tail, and the node-local
+// arrival time of the most recent ingested measurement (the ingest
+// high-watermark bin-to-verdict latency is measured against).
+//
+// Layout: every chunk holds exactly span bins; the first head bins of
+// chunks[0] are pruned (logically absent), so logical bin i lives at
+// encoded position i+head of the sealed region, and the logical length
+// is len(chunks)·span − head + len(tail). When the tail reaches span
+// bins its first span are encoded and sealed.
+//
+// Concurrency: all fields are guarded by the owning shard's mutex for
+// writing, but sealed chunks are immutable and shared by reference —
+// RangeInto captures the chunks slice and head under the shard lock,
+// then decodes after releasing it (holding only epochMu.RLock, which
+// excludes Prune). Writers therefore never mutate an element of a
+// chunks slice a reader may hold: a late write into sealed territory
+// re-encodes into a copied slice (copy-on-write), and Prune installs a
+// freshly built slice. Appending a newly sealed chunk in place is safe
+// because readers captured the older, shorter slice header.
+//
+// arrivalNanos is zero until the first live append (snapshot-restored
+// series carry no watermark — their data's true arrival time died with
+// the previous process).
 type seriesEntry struct {
-	bins         []float64
+	chunks       []*chunk.Chunk
+	head         int
+	tail         []float64
 	arrivalNanos int64
+}
+
+// sealedLen returns the logical length of the sealed (compressed)
+// region given the store's span.
+func (e *seriesEntry) sealedLen(span int) int {
+	return len(e.chunks)*span - e.head
+}
+
+// binLen returns the series' logical bin count given the store's span.
+func (e *seriesEntry) binLen(span int) int {
+	return e.sealedLen(span) + len(e.tail)
 }
 
 // subscription is one registered measurement listener.
@@ -158,6 +199,7 @@ func NewStoreShards(start time.Time, step time.Duration, shards int) *Store {
 	s := &Store{
 		start:  start,
 		step:   step,
+		span:   chunk.DefaultSpan,
 		shards: make([]storeShard, shards),
 		subs:   make(map[int]*subscription),
 	}
@@ -169,6 +211,25 @@ func NewStoreShards(start time.Time, step time.Duration, shards int) *Store {
 
 // Shards returns the number of lock stripes.
 func (s *Store) Shards() int { return len(s.shards) }
+
+// ChunkSpan returns the sealed-chunk width in bins.
+func (s *Store) ChunkSpan() int { return s.span }
+
+// SetChunkSpan sets the sealed-chunk width in bins (minimum 2; the
+// default is chunk.DefaultSpan). It must be called before the first
+// append: existing sealed chunks are not re-spanned, so changing the
+// span of a populated store panics.
+func (s *Store) SetChunkSpan(span int) {
+	if span < 2 {
+		span = 2
+	}
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.lenLocked() != 0 {
+		panic("monitor: SetChunkSpan on a populated store")
+	}
+	s.span = span
+}
 
 // shardIndex maps a key to its stripe by FNV-1a over scope, entity and
 // metric (with a NUL separator, mirroring KPIKey.String uniqueness).
@@ -235,6 +296,18 @@ func (s *Store) SetCollector(c *obs.Collector) {
 	if s.persist != nil {
 		c.SetGaugeFunc("monitor.wal_bytes", func() int64 { return s.persist.walBytes.Load() })
 	}
+	// Compressed-store gauges: resident vs raw footprint of the binned
+	// history, for the dashboard's compression-ratio line. Each read
+	// walks the shards under their read locks — scrape-rate work.
+	c.SetGaugeFunc("monitor.store_chunks", func() int64 {
+		return int64(s.Stats().Chunks)
+	})
+	c.SetGaugeFunc("monitor.store_compressed_bytes", func() int64 {
+		return s.Stats().ApproxBytes
+	})
+	c.SetGaugeFunc("monitor.store_raw_bytes", func() int64 {
+		return int64(s.Stats().Bins) * 8
+	})
 }
 
 // Collector returns the attached telemetry collector (possibly nil).
@@ -268,12 +341,7 @@ func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement, arri
 		e = new(seriesEntry)
 		sh.series[m.Key] = e
 	}
-	buf := e.bins
-	for len(buf) <= idx {
-		buf = append(buf, math.NaN())
-	}
-	buf[idx] = m.V
-	e.bins = buf
+	s.setBinLocked(e, idx, m.V)
 	e.arrivalNanos = arrivalNanos
 	if sh.wal != nil {
 		sh.wal.appendLocked(m)
@@ -297,6 +365,75 @@ func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement, arri
 	}
 	s.subMu.RUnlock()
 	return pushes, drops, true
+}
+
+// setBinLocked writes v at logical bin idx of e, growing the tail with
+// NaN gaps as needed and sealing full spans off its front. The caller
+// holds the owning shard's mutex.
+func (s *Store) setBinLocked(e *seriesEntry, idx int, v float64) {
+	span := s.span
+	sealed := e.sealedLen(span)
+	if idx < sealed {
+		// Late write into sealed territory (an out-of-order measurement
+		// older than the mutable tail): decode the owning chunk, patch
+		// the bin, re-encode. Copy-on-write on the chunks slice — a
+		// reader outside the shard lock may hold the current header.
+		pos := idx + e.head
+		ci := pos / span
+		scratch := s.spanBuf()
+		e.chunks[ci].DecodeInto(scratch, 0, span)
+		scratch[pos%span] = v
+		nc := chunk.Encode(scratch)
+		s.spanScratch.Put(&scratch)
+		chunks := make([]*chunk.Chunk, len(e.chunks))
+		copy(chunks, e.chunks)
+		chunks[ci] = nc
+		e.chunks = chunks
+		return
+	}
+	ti := idx - sealed
+	tail := e.tail
+	for len(tail) <= ti {
+		tail = append(tail, math.NaN())
+	}
+	tail[ti] = v
+	for len(tail) >= span {
+		e.chunks = append(e.chunks, chunk.Encode(tail[:span]))
+		n := copy(tail, tail[span:])
+		tail = tail[:n]
+	}
+	e.tail = tail
+}
+
+// decodeFromLocked decodes logical bins [lo, binLen) of e into dst
+// (of length binLen−lo). The caller holds the owning shard's mutex.
+func (s *Store) decodeFromLocked(e *seriesEntry, lo int, dst []float64) {
+	span := s.span
+	sealed := e.sealedLen(span)
+	if lo < sealed {
+		plo, phi := lo+e.head, len(e.chunks)*span
+		for ci := plo / span; ci*span < phi; ci++ {
+			clo := plo - ci*span
+			if clo < 0 {
+				clo = 0
+			}
+			off := ci*span + clo - plo
+			e.chunks[ci].DecodeInto(dst[off:off+span-clo], clo, span)
+		}
+	}
+	if tlo := lo - sealed; tlo <= 0 {
+		copy(dst[sealed-lo:], e.tail)
+	} else {
+		copy(dst, e.tail[tlo:])
+	}
+}
+
+// spanBuf returns a span-sized scratch buffer from the pool.
+func (s *Store) spanBuf() []float64 {
+	if p, _ := s.spanScratch.Get().(*[]float64); p != nil && len(*p) == s.span {
+		return *p
+	}
+	return make([]float64, s.span)
 }
 
 // Append records a measurement, growing the key's series as needed
@@ -442,22 +579,100 @@ func (s *Store) AppendBatch(ms []Measurement) {
 // through the last appended bin, and whether the key exists. Gaps are
 // NaN; callers typically FillGaps before analysis.
 func (s *Store) Series(key topo.KPIKey) (*timeseries.Series, bool) {
-	s.epochMu.RLock()
-	start := s.start
-	sh := s.shardFor(key)
-	sh.mu.RLock()
-	e, ok := sh.series[key]
-	var cp []float64
-	if ok {
-		cp = make([]float64, len(e.bins))
-		copy(cp, e.bins)
-	}
-	sh.mu.RUnlock()
-	s.epochMu.RUnlock()
+	vals, start, ok := s.rangeInto(key, time.Time{}, time.Time{}, nil, true)
 	if !ok {
 		return nil, false
 	}
-	return timeseries.New(start, s.step, cp), true
+	return timeseries.New(start, s.step, vals), true
+}
+
+// RangeInto decodes the key's bins covering [from, to), clamped to the
+// stored span, into dst. It returns the window's values (aliasing
+// dst's storage when its capacity suffices — steady-state callers
+// reusing a buffer pay zero allocations), the window's start time, and
+// whether the window is non-empty; ok is false when the key is unknown
+// or the clamped range is empty, with dst returned unread.
+//
+// This is the assessment hot path: only the sealed chunks overlapping
+// the window are decoded, sealed chunks are shared by reference
+// instead of copied (the epoch read-lock held for the duration
+// excludes Prune), and the shard lock is released before any decoding
+// happens — only the small mutable tail is copied under it.
+func (s *Store) RangeInto(key topo.KPIKey, from, to time.Time, dst []float64) ([]float64, time.Time, bool) {
+	return s.rangeInto(key, from, to, dst, false)
+}
+
+// rangeInto implements Series (all=true: the full span regardless of
+// from/to, ok for any existing key) and RangeInto (all=false).
+func (s *Store) rangeInto(key topo.KPIKey, from, to time.Time, dst []float64, all bool) ([]float64, time.Time, bool) {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	start := s.start
+	span := s.span
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.series[key]
+	if !ok {
+		sh.mu.RUnlock()
+		return dst, time.Time{}, false
+	}
+	sealed := e.sealedLen(span)
+	n := sealed + len(e.tail)
+	lo, hi := 0, n
+	if !all {
+		if from.After(start) {
+			lo = int(from.Sub(start) / s.step)
+		}
+		if end := start.Add(time.Duration(n) * s.step); to.Before(end) {
+			hi = int(to.Sub(start)+s.step-1) / int(s.step)
+			if hi > n {
+				hi = n
+			}
+		}
+		if lo >= hi || lo >= n {
+			sh.mu.RUnlock()
+			return dst, time.Time{}, false
+		}
+	}
+	m := hi - lo
+	if cap(dst) < m {
+		dst = make([]float64, m)
+	}
+	dst = dst[:m]
+	head := e.head
+	chunks := e.chunks
+	// Copy the window's share of the mutable tail while still holding
+	// the shard lock; the sealed chunks are immutable and decode after
+	// release (epochMu.RLock alone keeps Prune out).
+	if hi > sealed {
+		tlo := lo
+		if tlo < sealed {
+			tlo = sealed
+		}
+		copy(dst[tlo-lo:], e.tail[tlo-sealed:hi-sealed])
+	}
+	sh.mu.RUnlock()
+	if lo < sealed {
+		shi := hi
+		if shi > sealed {
+			shi = sealed
+		}
+		// Decode encoded positions [lo+head, shi+head), chunk by chunk.
+		plo, phi := lo+head, shi+head
+		for ci := plo / span; ci*span < phi; ci++ {
+			clo := plo - ci*span
+			if clo < 0 {
+				clo = 0
+			}
+			chi := phi - ci*span
+			if chi > span {
+				chi = span
+			}
+			off := ci*span + clo - plo
+			chunks[ci].DecodeInto(dst[off:off+chi-clo], clo, chi)
+		}
+	}
+	return dst, start.Add(time.Duration(lo) * s.step), true
 }
 
 // ArrivalWatermark returns the node-local time the key's most recent
@@ -483,27 +698,15 @@ func (s *Store) ArrivalWatermark(key topo.KPIKey) (time.Time, bool) {
 
 // Range returns a copy of the key's bins covering [from, to), clamped
 // to the stored span. ok is false when the key is unknown or the
-// clamped range is empty.
+// clamped range is empty. Unlike the historical implementation it
+// copies (and decodes) only the requested window, never the full
+// series.
 func (s *Store) Range(key topo.KPIKey, from, to time.Time) (*timeseries.Series, bool) {
-	full, ok := s.Series(key)
+	vals, wstart, ok := s.RangeInto(key, from, to, nil)
 	if !ok {
 		return nil, false
 	}
-	lo := 0
-	if from.After(full.Start) {
-		lo = int(from.Sub(full.Start) / s.step)
-	}
-	hi := full.Len()
-	if to.Before(full.End()) {
-		hi = int(to.Sub(full.Start)+s.step-1) / int(s.step)
-		if hi > full.Len() {
-			hi = full.Len()
-		}
-	}
-	if lo >= hi || lo >= full.Len() {
-		return nil, false
-	}
-	return full.Slice(lo, hi), true
+	return timeseries.New(wstart, s.step, vals), true
 }
 
 // Keys returns every stored KPI key, in unspecified order.
@@ -559,17 +762,36 @@ func (s *Store) Prune(before time.Time) {
 		s.epochMu.Unlock()
 		return
 	}
+	span := s.span
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for key, e := range sh.series {
-			if drop >= len(e.bins) {
+			sealed := e.sealedLen(span)
+			if drop >= sealed+len(e.tail) {
 				delete(sh.series, key)
 				continue
 			}
-			kept := make([]float64, len(e.bins)-drop)
-			copy(kept, e.bins[drop:])
-			e.bins = kept
+			if drop < sealed {
+				// Drop whole leading chunks; the remainder of a partial
+				// chunk stays encoded and is skipped via head. The kept
+				// slice is rebuilt (not re-sliced) so the dropped chunks'
+				// pointers leave the backing array and can be collected.
+				p := e.head + drop
+				if dc := p / span; dc > 0 {
+					kept := make([]*chunk.Chunk, len(e.chunks)-dc)
+					copy(kept, e.chunks[dc:])
+					e.chunks = kept
+				}
+				e.head = p % span
+				continue
+			}
+			td := drop - sealed
+			kept := make([]float64, len(e.tail)-td)
+			copy(kept, e.tail[td:])
+			e.chunks = nil
+			e.head = 0
+			e.tail = kept
 		}
 		sh.mu.Unlock()
 	}
@@ -585,11 +807,19 @@ func (s *Store) Prune(before time.Time) {
 type Stats struct {
 	// SeriesCount is the number of distinct KPI series.
 	SeriesCount int
-	// Bins is the total number of stored bins across all series.
+	// Bins is the total number of stored (logical) bins across all
+	// series, sealed and mutable alike.
 	Bins int
-	// ApproxBytes estimates the resident size of the stored values
-	// (8 bytes per bin, excluding map and key overhead).
+	// ApproxBytes estimates the resident size of the stored values:
+	// the encoded bytes of sealed chunks plus 8 bytes per mutable tail
+	// bin (excluding map and key overhead).
 	ApproxBytes int64
+	// CompressedBytes is the encoded size of all sealed chunks.
+	CompressedBytes int64
+	// Chunks is the number of sealed chunks across all series.
+	Chunks int
+	// TailBins is the number of mutable (uncompressed) tail bins.
+	TailBins int
 	// Start and LastBin bound the stored span; LastBin is −1 for an
 	// empty store.
 	Start   time.Time
@@ -601,19 +831,26 @@ func (s *Store) Stats() Stats {
 	s.epochMu.RLock()
 	defer s.epochMu.RUnlock()
 	st := Stats{Start: s.start, LastBin: -1}
+	span := s.span
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		st.SeriesCount += len(sh.series)
 		for _, e := range sh.series {
-			st.Bins += len(e.bins)
-			if len(e.bins)-1 > st.LastBin {
-				st.LastBin = len(e.bins) - 1
+			n := e.binLen(span)
+			st.Bins += n
+			if n-1 > st.LastBin {
+				st.LastBin = n - 1
+			}
+			st.Chunks += len(e.chunks)
+			st.TailBins += len(e.tail)
+			for _, c := range e.chunks {
+				st.CompressedBytes += int64(c.EncodedBytes())
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	st.ApproxBytes = int64(st.Bins) * 8
+	st.ApproxBytes = st.CompressedBytes + int64(st.TailBins)*8
 	return st
 }
 
@@ -631,6 +868,8 @@ func (s *Store) ReplaySince(filter func(topo.KPIKey) bool, since time.Time) []Me
 		lo = int(since.Sub(start) / s.step)
 	}
 	var out []Measurement
+	span := s.span
+	var buf []float64
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.RLock()
@@ -638,16 +877,26 @@ func (s *Store) ReplaySince(filter func(topo.KPIKey) bool, since time.Time) []Me
 			if filter != nil && !filter(key) {
 				continue
 			}
-			buf := e.bins
-			for i := lo; i < len(buf); i++ {
-				if math.IsNaN(buf[i]) {
+			n := e.binLen(span)
+			if lo >= n {
+				continue
+			}
+			// Replay is a cold path (subscriber reconnect): decode the
+			// whole replayed suffix into a reused scratch buffer.
+			if cap(buf) < n-lo {
+				buf = make([]float64, n-lo)
+			}
+			buf = buf[:n-lo]
+			s.decodeFromLocked(e, lo, buf)
+			for i := lo; i < n; i++ {
+				if math.IsNaN(buf[i-lo]) {
 					continue
 				}
 				t := start.Add(time.Duration(i) * s.step)
 				if t.Before(since) {
 					continue
 				}
-				out = append(out, Measurement{Key: key, T: t, V: buf[i]})
+				out = append(out, Measurement{Key: key, T: t, V: buf[i-lo]})
 			}
 		}
 		sh.mu.RUnlock()

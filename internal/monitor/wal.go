@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/obs"
 )
 
@@ -92,12 +93,20 @@ type PersistOptions struct {
 	// DefaultSyncInterval; negative disables the background pass —
 	// Sync can still be called).
 	SyncInterval time.Duration
+	// ChunkSpan is the sealed-chunk width in bins (default
+	// chunk.DefaultSpan). It applies to fresh directories and to
+	// version-1 snapshot upgrades; a version-2 snapshot keeps the span
+	// it was written with.
+	ChunkSpan int
 }
 
 // withDefaults resolves the zero-value conventions.
 func (o PersistOptions) withDefaults() PersistOptions {
 	if o.Shards == 0 {
 		o.Shards = StoreShards
+	}
+	if o.ChunkSpan == 0 {
+		o.ChunkSpan = chunk.DefaultSpan
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = DefaultCompactBytes
@@ -327,7 +336,7 @@ func OpenPersistent(dir string, start time.Time, step time.Duration, opts Persis
 	var store *Store
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
-		store, err = readSnapshotShards(f, opts.Shards)
+		store, err = readSnapshotShards(f, opts.Shards, opts.ChunkSpan)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("monitor: recovering snapshot: %w", err)
@@ -346,7 +355,7 @@ func OpenPersistent(dir string, start time.Time, step time.Duration, opts Persis
 	}
 	for _, group := range [][]string{oldLogs, liveLogs} {
 		for _, path := range group {
-			st, err := replayWAL(path, store, start, step, opts.Shards, &p.recovered)
+			st, err := replayWAL(path, store, start, step, opts.Shards, opts.ChunkSpan, &p.recovered)
 			if err != nil {
 				return nil, err
 			}
@@ -355,6 +364,7 @@ func OpenPersistent(dir string, start time.Time, step time.Duration, opts Persis
 	}
 	if store == nil {
 		store = NewStoreShards(start, step, opts.Shards)
+		store.span = opts.ChunkSpan
 	}
 	if step > 0 && store.step != step {
 		return nil, fmt.Errorf("monitor: step mismatch: store has %v, caller wants %v", store.step, step)
@@ -401,7 +411,7 @@ func listWALs(dir string) (oldLogs, liveLogs []string, err error) {
 // the log's header epoch if it does not exist yet. Torn tails are
 // counted and ignored; corruption before the tail is an error (an
 // append-only log cannot be damaged mid-file by a crash).
-func replayWAL(path string, store *Store, start time.Time, step time.Duration, shards int, stats *RecoveryStats) (*Store, error) {
+func replayWAL(path string, store *Store, start time.Time, step time.Duration, shards, span int, stats *RecoveryStats) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return store, err
@@ -435,6 +445,9 @@ func replayWAL(path string, store *Store, start time.Time, step time.Duration, s
 			return store, fmt.Errorf("monitor: step mismatch: WAL has %v, caller wants %v", hdrStep, step)
 		}
 		store = NewStoreShards(hdrStart, hdrStep, shards)
+		if span >= 2 {
+			store.span = span
+		}
 	}
 
 	cache := NewKeyCache()
