@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/changelog"
+	"repro/internal/faultfs"
 	"repro/internal/funnel"
 	"repro/internal/monitor"
 	"repro/internal/obs"
@@ -49,6 +52,14 @@ const ingestPublishers = 4
 // free.
 const telemetryOverheadCap = 1.05
 
+// faultfsOverheadCap bounds what threading every disk operation through
+// the faultfs.FS seam — with a zero-fault plan installed, the
+// configuration a paranoid operator might run in production — may add
+// to the persistent batched sharded ingest path, measured in the same
+// run so host noise cancels. The abstraction exists so fault injection
+// costs nothing when unused; this gate keeps that true.
+const faultfsOverheadCap = 1.05
+
 // ingestCase is one (wire format × striping × persistence)
 // configuration.
 type ingestCase struct {
@@ -57,6 +68,7 @@ type ingestCase struct {
 	batch     int  // measurements per 0x04 frame; ≤1 = one 0x01 frame each
 	wal       bool // write-ahead persistence on (funnelserve -data)
 	telemetry bool // full observability: logger wired, history ring scraping
+	faultfs   bool // persist through a zero-plan faultfs.FaultFS wrapper
 }
 
 // ingestCases covers the axes. The in-memory block maps the (frame ×
@@ -67,13 +79,14 @@ type ingestCase struct {
 func ingestCases() []ingestCase {
 	batch := 1024 // accumulation per PublishBatch call; frames pack to the cap
 	return []ingestCase{
-		{"ingest/single-frame-1shard", 1, 0, false, false},
-		{"ingest/single-frame-sharded", monitor.StoreShards, 0, false, false},
-		{"ingest/batch-frame-1shard", 1, batch, false, false},
-		{"ingest/batch-frame-sharded", monitor.StoreShards, batch, false, false},
-		{"ingest/batch-frame-sharded-telemetry", monitor.StoreShards, batch, false, true},
-		{"ingest/wal-single-frame-1shard", 1, 0, true, false},
-		{"ingest/wal-batch-frame-sharded", monitor.StoreShards, batch, true, false},
+		{"ingest/single-frame-1shard", 1, 0, false, false, false},
+		{"ingest/single-frame-sharded", monitor.StoreShards, 0, false, false, false},
+		{"ingest/batch-frame-1shard", 1, batch, false, false, false},
+		{"ingest/batch-frame-sharded", monitor.StoreShards, batch, false, false, false},
+		{"ingest/batch-frame-sharded-telemetry", monitor.StoreShards, batch, false, true, false},
+		{"ingest/wal-single-frame-1shard", 1, 0, true, false, false},
+		{"ingest/wal-batch-frame-sharded", monitor.StoreShards, batch, true, false, false},
+		{"ingest/wal-batch-frame-sharded-faultfs", monitor.StoreShards, batch, true, false, true},
 	}
 }
 
@@ -112,9 +125,16 @@ func measureIngest(c ingestCase, perPub int) (benchStats, error) {
 		defer os.RemoveAll(dir)
 		// Background fsync and auto-compaction off: the entry measures
 		// the logging path itself, not periodic maintenance.
-		store, err = monitor.OpenPersistent(dir, start, time.Minute, monitor.PersistOptions{
+		opts := monitor.PersistOptions{
 			Shards: c.shards, SyncInterval: -1, CompactBytes: -1,
-		})
+		}
+		if c.faultfs {
+			// A fault-injection wrapper with nothing scheduled: every
+			// write and sync still crosses the seam, so the entry prices
+			// the abstraction itself.
+			opts.FS = faultfs.New(faultfs.Plan{}, nil)
+		}
+		store, err = monitor.OpenPersistent(dir, start, time.Minute, opts)
 		if err != nil {
 			return benchStats{}, err
 		}
@@ -235,7 +255,8 @@ func runIngestSuite(perPub int, outPath, checkPath string) error {
 	fmt.Printf("host calibration kernel: %.0f ns/op\n", cal)
 	var entries []benchEntry
 	byName := make(map[string]benchStats)
-	for _, c := range ingestCases() {
+	cases := ingestCases()
+	for _, c := range cases {
 		// Best of two runs: wall-clock per-measurement cost only ever
 		// inflates under scheduler or GC interference, so the min is the
 		// honest figure on a shared host.
@@ -255,28 +276,50 @@ func runIngestSuite(perPub int, outPath, checkPath string) error {
 
 	// Bin-to-verdict: the end-to-end data-freshness latency the
 	// telemetry work surfaces — last bin arrival to verdict emission,
-	// measured through a live store-backed assessment.
+	// measured through a live store-backed assessment. Best of three,
+	// same min convention as the throughput entries, with a GC flush
+	// first: the entry inherits the garbage of eight ingest runs, and a
+	// collection landing mid-measurement can double a figure that is
+	// otherwise a millisecond-scale constant.
+	runtime.GC()
 	b2v, b2vIters, err := measureBinToVerdict()
 	if err != nil {
 		return err
 	}
-	// Best of two, same as the throughput entries: the latency only
-	// ever inflates under interference.
-	if b2v2, n2, err := measureBinToVerdict(); err != nil {
-		return err
-	} else if b2v2.NsPerOp < b2v.NsPerOp {
-		b2v, b2vIters = b2v2, n2
+	for round := 1; round < 3; round++ {
+		runtime.GC()
+		if b2v2, n2, err := measureBinToVerdict(); err != nil {
+			return err
+		} else if b2v2.NsPerOp < b2v.NsPerOp {
+			b2v, b2vIters = b2v2, n2
+		}
 	}
 	entries = append(entries, benchEntry{Name: "ingest/bin-to-verdict", Iters: b2vIters, After: b2v})
 	fmt.Printf("  %-30s %12.0f ns/verdict (mean over %d KPIs)\n", "ingest/bin-to-verdict", b2v.NsPerOp, b2vIters)
 
 	memRatio := byName["ingest/single-frame-1shard"].NsPerOp / byName["ingest/batch-frame-sharded"].NsPerOp
 	walRatio := byName["ingest/wal-single-frame-1shard"].NsPerOp / byName["ingest/wal-batch-frame-sharded"].NsPerOp
-	telemetryRatio := byName["ingest/batch-frame-sharded-telemetry"].NsPerOp / byName["ingest/batch-frame-sharded"].NsPerOp
+	// The two overhead gates divide figures whose scheduler noise (on a
+	// small CI host, often one CPU) is several times the cost under
+	// test, so they are measured as paired rounds rather than from the
+	// table minima above: the numerator and denominator run back to
+	// back so drift hits both sides alike.
+	telemetryRatio, err := pairedRatio(cases, perPub,
+		"ingest/batch-frame-sharded-telemetry", "ingest/batch-frame-sharded")
+	if err != nil {
+		return err
+	}
+	faultfsRatio, err := pairedRatio(cases, perPub,
+		"ingest/wal-batch-frame-sharded-faultfs", "ingest/wal-batch-frame-sharded")
+	if err != nil {
+		return err
+	}
 	fmt.Printf("  batch+sharded speedup over single-frame single-mutex: %.1f× in-memory, %.1f× persistent\n",
 		memRatio, walRatio)
 	fmt.Printf("  telemetry overhead on the batched sharded path: %.3f× (cap %.2f×)\n",
 		telemetryRatio, telemetryOverheadCap)
+	fmt.Printf("  faultfs seam overhead on the persistent path: %.3f× (cap %.2f×)\n",
+		faultfsRatio, faultfsOverheadCap)
 
 	if checkPath != "" {
 		if walRatio < ingestSpeedupFloor {
@@ -285,9 +328,49 @@ func runIngestSuite(perPub int, outPath, checkPath string) error {
 		if telemetryRatio > telemetryOverheadCap {
 			return fmt.Errorf("telemetry ingest overhead %.3f× above cap %.2f×", telemetryRatio, telemetryOverheadCap)
 		}
+		if faultfsRatio > faultfsOverheadCap {
+			return fmt.Errorf("faultfs seam overhead %.3f× above cap %.2f×", faultfsRatio, faultfsOverheadCap)
+		}
 		return checkAgainstBaseline(checkPath, cal, entries)
 	}
 	return writeBenchFile(outPath, "funnel-bench/v1", cal, entries)
+}
+
+// pairedRatio measures the num configuration against the den
+// configuration in adjacent rounds and returns the minimum per-round
+// ratio. Interference on a shared host only ever inflates a run, and
+// it is strongly time-correlated, so running the pair back to back
+// and keeping the cleanest round's ratio isolates the constant cost
+// under test (a telemetry surface, a filesystem seam) from scheduler
+// drift that a table of independently-timed minima cannot cancel.
+func pairedRatio(cases []ingestCase, perPub int, num, den string) (float64, error) {
+	var numCase, denCase ingestCase
+	for _, c := range cases {
+		if c.name == num {
+			numCase = c
+		}
+		if c.name == den {
+			denCase = c
+		}
+	}
+	if numCase.name == "" || denCase.name == "" {
+		return 0, fmt.Errorf("pairedRatio: unknown case %q or %q", num, den)
+	}
+	best := math.Inf(1)
+	for round := 0; round < 3; round++ {
+		d, err := measureIngest(denCase, perPub)
+		if err != nil {
+			return 0, err
+		}
+		n, err := measureIngest(numCase, perPub)
+		if err != nil {
+			return 0, err
+		}
+		if r := n.NsPerOp / d.NsPerOp; r < best {
+			best = r
+		}
+	}
+	return best, nil
 }
 
 // measureBinToVerdict runs a small store-backed assessment — three

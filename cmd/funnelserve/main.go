@@ -56,8 +56,14 @@ func main() {
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON (one object per line) instead of text")
 		histStep  = flag.Duration("history-step", obs.DefaultHistoryStep, "metrics-history self-scrape cadence (/metrics/history)")
 		histSpan  = flag.Duration("history-retention", obs.DefaultHistoryRetention, "metrics-history span kept in memory")
+		fsck      = flag.Bool("fsck", false, "verify the -data directory (snapshot CRCs, WAL framing) and exit: 0 clean, 1 damage found")
+		fsckFix   = flag.Bool("fsck-repair", false, "with -fsck: drop quarantined chunks as explicit gaps and rewrite a clean snapshot")
 	)
 	flag.Parse()
+
+	if *fsck || *fsckFix {
+		os.Exit(runFsck(*data, *fsckFix))
+	}
 
 	var logger *slog.Logger
 	if *verbose > 0 {
@@ -189,4 +195,46 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// runFsck verifies (and with repair, fixes) a persistence directory,
+// printing a per-file health report. Exit codes: 0 the directory is
+// clean (or was repaired), 1 damage remains, 2 usage error.
+func runFsck(dir string, repair bool) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "funnelserve: -fsck requires -data")
+		return 2
+	}
+	rep, err := monitor.Fsck(dir, nil, repair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "funnelserve: fsck:", err)
+		return 1
+	}
+	if rep.SnapshotPresent {
+		fmt.Printf("snapshot: %d series, %d chunks, %d quarantined\n",
+			rep.SnapshotSeries, rep.Chunks, rep.QuarantinedChunks)
+	} else {
+		fmt.Println("snapshot: none")
+	}
+	for _, w := range rep.WALs {
+		switch {
+		case w.ReadError != nil:
+			fmt.Printf("%s: UNREADABLE: %v\n", w.Path, w.ReadError)
+		case w.TornTail:
+			fmt.Printf("%s: %d records, torn tail discarded\n", w.Path, w.Records)
+		default:
+			fmt.Printf("%s: %d records, clean\n", w.Path, w.Records)
+		}
+	}
+	switch {
+	case rep.Repaired:
+		fmt.Printf("repaired: %d quarantined chunks dropped as explicit gaps, snapshot rewritten\n", rep.DroppedChunks)
+		return 0
+	case rep.Healthy():
+		fmt.Println("clean")
+		return 0
+	default:
+		fmt.Println("damage found (run with -fsck-repair to consolidate)")
+		return 1
+	}
 }

@@ -156,6 +156,12 @@ func render(w io.Writer, addr string, s *snapshot) {
 			sumShards(h, "monitor.shard_rotations"))
 	}
 
+	// Disk health: persist state, quarantined chunks and degraded reads
+	// — the operator's first stop when a verdict comes back degraded.
+	if line := diskHealthLine(h); line != "" {
+		fmt.Fprintf(w, "disk     %s\n", line)
+	}
+
 	// Stage latency panel: p99 trajectory as a sparkline, current
 	// p50/p99, and the cumulative observation count.
 	fmt.Fprintf(w, "\n%-16s %-32s %10s %10s %8s\n", "stage", "p99 trend", "p50", "p99", "count")
@@ -326,4 +332,31 @@ func formatBytes(b float64) string {
 	default:
 		return fmt.Sprintf("%.0fB", b)
 	}
+}
+
+// diskHealthLine renders the disk-health panel body, or "" when the
+// collector exposes no persistence telemetry (in-memory store with no
+// quarantines).
+func diskHealthLine(h *obs.HistoryDump) string {
+	stateSeries, persistent := h.Series["monitor.persist_state"]
+	quarantined := last(h.Series["monitor.quarantined_chunks"])
+	if !persistent && quarantined == 0 {
+		return ""
+	}
+	state := "HEALTHY"
+	switch last(stateSeries) {
+	case 1:
+		state = "DEGRADED (re-arm pending)"
+	case 2:
+		state = "FAILED (memory-only)"
+	}
+	line := state
+	if errs := last(h.Series["monitor.disk_errors"]); errs > 0 {
+		line += fmt.Sprintf("  errors %.0f  re-arms %.0f", errs, last(h.Series["monitor.wal_rearms"]))
+	}
+	if quarantined > 0 {
+		line += fmt.Sprintf("  QUARANTINED CHUNKS %.0f  degraded reads %.0f",
+			quarantined, last(h.Series["monitor.degraded_reads"]))
+	}
+	return line
 }

@@ -150,3 +150,43 @@ func TestBalanceNote(t *testing.T) {
 		t.Errorf("balanceNote(1,100) = %q", got)
 	}
 }
+
+func TestDiskHealthLine(t *testing.T) {
+	// No persistence telemetry at all: the panel stays hidden.
+	if line := diskHealthLine(&obs.HistoryDump{Series: map[string][]float64{}}); line != "" {
+		t.Fatalf("in-memory store rendered a disk panel: %q", line)
+	}
+
+	h := &obs.HistoryDump{Series: map[string][]float64{
+		"monitor.persist_state": {0},
+	}}
+	if line := diskHealthLine(h); line != "HEALTHY" {
+		t.Fatalf("healthy line = %q", line)
+	}
+
+	h.Series["monitor.persist_state"] = []float64{1}
+	h.Series["monitor.disk_errors"] = []float64{3}
+	h.Series["monitor.wal_rearms"] = []float64{0}
+	line := diskHealthLine(h)
+	if !strings.Contains(line, "DEGRADED") || !strings.Contains(line, "errors 3") {
+		t.Fatalf("degraded line = %q", line)
+	}
+
+	h.Series["monitor.persist_state"] = []float64{2}
+	h.Series["monitor.quarantined_chunks"] = []float64{2}
+	h.Series["monitor.degraded_reads"] = []float64{17}
+	line = diskHealthLine(h)
+	if !strings.Contains(line, "FAILED") || !strings.Contains(line, "QUARANTINED CHUNKS 2") ||
+		!strings.Contains(line, "degraded reads 17") {
+		t.Fatalf("failed+quarantine line = %q", line)
+	}
+
+	// Quarantines alone (in-memory store restored from a damaged
+	// snapshot) surface the panel too.
+	q := &obs.HistoryDump{Series: map[string][]float64{
+		"monitor.quarantined_chunks": {1},
+	}}
+	if line := diskHealthLine(q); !strings.Contains(line, "QUARANTINED CHUNKS 1") {
+		t.Fatalf("quarantine-only line = %q", line)
+	}
+}

@@ -29,6 +29,7 @@ package chunk
 
 import (
 	"fmt"
+	"hash/crc32"
 	"math"
 	"math/bits"
 )
@@ -51,9 +52,17 @@ const maxRun = 1<<16 - 1
 // Chunk is an immutable compressed block of float64 values. Chunks are
 // safe for concurrent use by any number of readers once built; the
 // store shares them by reference instead of copying bins.
+//
+// A chunk may instead be a quarantine tombstone: the placeholder left
+// behind when a sealed chunk's on-disk checksum no longer matched its
+// bytes. A tombstone keeps the chunk's position and span in the series
+// but decodes every bin to NaN, so the corruption surfaces through the
+// normal gap machinery as missing data rather than as wrong values.
 type Chunk struct {
-	count int
-	data  []byte
+	count       int
+	data        []byte
+	crc         uint32
+	quarantined bool
 }
 
 // Encode compresses vals into a sealed chunk. The input slice is not
@@ -94,6 +103,7 @@ func Encode(vals []float64) *Chunk {
 	}
 	flushRun(&w, run)
 	c.data = w.finish()
+	c.crc = crc32.ChecksumIEEE(c.data)
 	return c
 }
 
@@ -124,6 +134,27 @@ func (c *Chunk) EncodedBytes() int { return len(c.data) }
 // snapshots write it verbatim and FromEncoded wraps it verbatim.
 func (c *Chunk) Data() []byte { return c.data }
 
+// CRC returns the IEEE CRC-32 of the encoded stream, computed at seal
+// time (Encode) or wrap time (FromEncoded). Snapshots persist it next
+// to the stream so a flipped bit on disk is caught on read instead of
+// decoding into silently wrong values.
+func (c *Chunk) CRC() uint32 { return c.crc }
+
+// Quarantined reports whether the chunk is a corruption tombstone —
+// its original bytes failed their checksum and every bin decodes to
+// NaN.
+func (c *Chunk) Quarantined() bool { return c.quarantined }
+
+// Tombstone builds a quarantine placeholder for a chunk of count bins
+// whose stored bytes failed validation. It carries no data; DecodeInto
+// yields NaN for every bin, feeding the gap/Inconclusive machinery.
+func Tombstone(count int) *Chunk {
+	if count < 0 {
+		count = 0
+	}
+	return &Chunk{count: count, quarantined: true}
+}
+
 // FromEncoded wraps a previously encoded stream (e.g. read back from a
 // snapshot) as a chunk of count values. The stream is validated by a
 // full decode, so a chunk accepted here can never fail (or run out of
@@ -132,7 +163,7 @@ func FromEncoded(data []byte, count int) (*Chunk, error) {
 	if count < 0 {
 		return nil, fmt.Errorf("chunk: negative count %d", count)
 	}
-	c := &Chunk{count: count, data: data}
+	c := &Chunk{count: count, data: data, crc: crc32.ChecksumIEEE(data)}
 	scratch := make([]float64, count)
 	if err := c.decodeRange(scratch, 0, count); err != nil {
 		return nil, fmt.Errorf("chunk: invalid stream: %w", err)
@@ -163,6 +194,13 @@ func (c *Chunk) decodeRange(dst []float64, lo, hi int) error {
 	}
 	if len(dst) < hi-lo {
 		return fmt.Errorf("decode buffer too short: %d < %d", len(dst), hi-lo)
+	}
+	if c.quarantined {
+		// A tombstone has no bytes; its bins are all missing.
+		for i := range dst[:hi-lo] {
+			dst[i] = math.NaN()
+		}
+		return nil
 	}
 	r := bitReader{data: c.data}
 	prev, ok := r.readBits(64)

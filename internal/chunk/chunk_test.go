@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"testing"
@@ -183,5 +184,62 @@ func TestDecodeIntoAllocs(t *testing.T) {
 		c.DecodeInto(dst, 100, 400)
 	}); n != 0 {
 		t.Fatalf("DecodeInto allocates %v per op, want 0", n)
+	}
+}
+
+func TestCRCMatchesEncodedBytes(t *testing.T) {
+	vals := []float64{1, 2, 3, math.NaN(), 5, 5, 5, 2.5}
+	c := Encode(vals)
+	if c.CRC() != crc32.ChecksumIEEE(c.Data()) {
+		t.Fatalf("seal-time CRC %08x != checksum of data %08x", c.CRC(), crc32.ChecksumIEEE(c.Data()))
+	}
+	// FromEncoded recomputes the same CRC from the same bytes.
+	rt, err := FromEncoded(c.Data(), c.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CRC() != c.CRC() {
+		t.Fatalf("FromEncoded CRC %08x != seal CRC %08x", rt.CRC(), c.CRC())
+	}
+	// A one-bit flip changes the CRC — the property quarantine relies on.
+	flipped := append([]byte(nil), c.Data()...)
+	flipped[len(flipped)/2] ^= 0x10
+	if crc32.ChecksumIEEE(flipped) == c.CRC() {
+		t.Fatal("bit flip left CRC unchanged")
+	}
+}
+
+func TestTombstoneDecodesToNaN(t *testing.T) {
+	tb := Tombstone(64)
+	if !tb.Quarantined() {
+		t.Fatal("tombstone not quarantined")
+	}
+	if tb.Count() != 64 || tb.EncodedBytes() != 0 {
+		t.Fatalf("tombstone count=%d bytes=%d", tb.Count(), tb.EncodedBytes())
+	}
+	dst := make([]float64, 64)
+	tb.DecodeInto(dst, 0, 64)
+	for i, v := range dst {
+		if !math.IsNaN(v) {
+			t.Fatalf("bin %d = %v, want NaN", i, v)
+		}
+	}
+	// Windowed decode of a tombstone also yields NaN, zero-alloc.
+	if n := testing.AllocsPerRun(50, func() {
+		tb.DecodeInto(dst, 10, 30)
+	}); n != 0 {
+		t.Fatalf("tombstone DecodeInto allocates %v per op", n)
+	}
+	for i := 0; i < 20; i++ {
+		if !math.IsNaN(dst[i]) {
+			t.Fatalf("windowed bin %d = %v, want NaN", i, dst[i])
+		}
+	}
+	// Regular chunks are never quarantined.
+	if Encode([]float64{1, 2}).Quarantined() {
+		t.Fatal("Encode produced a quarantined chunk")
+	}
+	if Tombstone(-3).Count() != 0 {
+		t.Fatal("negative tombstone count not clamped")
 	}
 }

@@ -290,7 +290,7 @@ func TestSnapshotV1Read(t *testing.T) {
 		buf.Write(w[:])
 	}
 
-	got, err := readSnapshotShards(&buf, StoreShards, 10)
+	got, err := readSnapshotShards(&buf, StoreShards, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,4 +349,140 @@ func TestSetChunkSpanGuards(t *testing.T) {
 		}
 	}()
 	s.SetChunkSpan(64)
+}
+
+// TestPruneThenLateWriteAcrossSealBoundaries pins the interaction of
+// the two sealed-region mutators: after a mid-chunk prune (non-zero
+// head), late out-of-order writes must patch the correct bin even when
+// the logical index and the encoded position disagree by head — in
+// particular on the first and last bin of a sealed chunk, where an
+// off-by-head lands in the neighboring chunk.
+func TestPruneThenLateWriteAcrossSealBoundaries(t *testing.T) {
+	const span = 8
+	s := chunkedStore(t, span)
+	const n = 10 * span
+	for i := 0; i < n; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	drop := 2*span + 3 // two whole chunks plus head 3
+	s.Prune(t0.Add(time.Duration(drop) * time.Minute))
+
+	// Patch bins whose encoded positions straddle every interesting
+	// boundary: first and last bin of a sealed chunk, both sides of a
+	// chunk seam, and the sealed/tail frontier.
+	patched := map[int]float64{}
+	patch := func(bin int) {
+		v := float64(bin) + 0.5
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(bin) * time.Minute), v})
+		patched[bin] = v
+	}
+	patch(drop)         // oldest surviving bin (encoded pos = head)
+	patch(4*span - 1)   // last bin of a sealed chunk
+	patch(4 * span)     // first bin of the next chunk
+	patch(n - span - 1) // just below the sealed/tail frontier
+	patch(n - 1)        // inside the mutable tail
+
+	ser, ok := s.Series(kCPU)
+	if !ok {
+		t.Fatal("series missing")
+	}
+	if ser.Len() != n-drop {
+		t.Fatalf("len = %d, want %d", ser.Len(), n-drop)
+	}
+	for i, v := range ser.Values {
+		bin := i + drop
+		want := float64(bin)
+		if pv, hit := patched[bin]; hit {
+			want = pv
+		}
+		if v != want {
+			t.Fatalf("bin %d = %v, want %v", bin, v, want)
+		}
+	}
+
+	// A second prune after the late writes must stay aligned too.
+	drop2 := 5*span + 1
+	s.Prune(t0.Add(time.Duration(drop2) * time.Minute))
+	ser, _ = s.Series(kCPU)
+	for i, v := range ser.Values {
+		bin := i + drop2
+		want := float64(bin)
+		if pv, hit := patched[bin]; hit {
+			want = pv
+		}
+		if v != want {
+			t.Fatalf("after second prune: bin %d = %v, want %v", bin, v, want)
+		}
+	}
+}
+
+// TestLateWriteIsCopyOnWrite pins the memory contract the lock-free
+// readers rely on: a late write into sealed territory must install a
+// new chunks slice with a new chunk object, leaving the slice a
+// concurrent reader captured — and every chunk in it — untouched.
+func TestLateWriteIsCopyOnWrite(t *testing.T) {
+	const span = 8
+	s := chunkedStore(t, span)
+	for i := 0; i < 4*span; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	sh := s.shardFor(kCPU)
+	sh.mu.Lock()
+	e := sh.series[kCPU]
+	held := e.chunks // what a reader outside the lock may hold
+	sh.mu.Unlock()
+
+	const bin = span + 2 // sealed
+	s.Append(Measurement{kCPU, t0.Add(bin * time.Minute), -1})
+
+	sh.mu.Lock()
+	fresh := e.chunks
+	sh.mu.Unlock()
+	if &held[0] == &fresh[0] {
+		t.Fatal("late write mutated the published chunks slice in place")
+	}
+	if held[1] == fresh[1] {
+		t.Fatal("late write reused the patched chunk object")
+	}
+	var old [span]float64
+	held[1].DecodeInto(old[:], 0, span)
+	if old[2] != float64(bin) {
+		t.Fatalf("reader's captured chunk changed under it: bin = %v", old[2])
+	}
+	var now [span]float64
+	fresh[1].DecodeInto(now[:], 0, span)
+	if now[2] != -1 {
+		t.Fatalf("patch missing from the fresh chunk: %v", now[2])
+	}
+}
+
+// TestPruneLateWriteSnapshotRoundTrip proves the prune + late-write
+// state (non-zero head, re-encoded chunks) survives the snapshot
+// format bit-exactly.
+func TestPruneLateWriteSnapshotRoundTrip(t *testing.T) {
+	const span = 8
+	s := chunkedStore(t, span)
+	fillRandom(s, kCPU, 12*span, 11)
+	s.Prune(t0.Add(time.Duration(3*span+5) * time.Minute))
+	// Late writes after the prune, across a seam.
+	s.Append(Measurement{kCPU, t0.Add(time.Duration(6*span-1) * time.Minute), 1e6})
+	s.Append(Measurement{kCPU, t0.Add(time.Duration(6*span) * time.Minute), 2e6})
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.Series(kCPU)
+	got, ok := r.Series(kCPU)
+	if !ok {
+		t.Fatal("series missing after round trip")
+	}
+	if !got.Start.Equal(want.Start) {
+		t.Fatalf("start %v, want %v", got.Start, want.Start)
+	}
+	sameBits(t, got.Values, want.Values, "prune+late-write round trip")
 }

@@ -15,9 +15,11 @@ import (
 
 // Snapshot format: a durable dump of a Store, so a FUNNEL deployment
 // can restart without losing the 30-day baselines the seasonal DiD
-// needs (§3.2.5). Version 2 stores each series' sealed chunks
-// verbatim — the snapshot is as compressed as the resident store, and
-// recovery skips re-encoding. Layout (all integers big-endian):
+// needs (§3.2.5). Version 3 stores each series' sealed chunks
+// verbatim with a per-chunk CRC-32 — the snapshot is as compressed as
+// the resident store, recovery skips re-encoding, and a flipped bit on
+// disk is caught on read instead of decoding into silently wrong
+// values. Layout (all integers big-endian):
 //
 //	magic "FNLS" | version uint16 | startUnixNano int64 |
 //	stepNanos int64 | chunkSpan uint32 | seriesCount uint32,
@@ -25,7 +27,9 @@ import (
 //	  scope uint8 | entityLen uint16 | entity | metricLen uint16 |
 //	  metric | head uint32 | chunkCount uint32,
 //	  then per sealed chunk (each holding exactly chunkSpan bins):
-//	    encLen uint32 | encLen encoded bytes (see internal/chunk),
+//	    encLen uint32 | crc32(data) uint32 | encLen encoded bytes
+//	    (see internal/chunk), or the single sentinel word
+//	    0xFFFFFFFF for a quarantined chunk (no crc, no data),
 //	  then tailCount uint32 | tailCount × float64 bits
 //
 // head is the count of already-pruned leading bins inside the first
@@ -35,14 +39,35 @@ import (
 // deterministic, so two stores with identical logical contents produce
 // byte-identical snapshots — the crash-recovery e2e depends on this.
 //
-// Version 1 (flat: binCount uint32 | binCount × float64 bits per
-// series, no chunkSpan field) is still read; its bins are sealed into
+// A chunk whose stored CRC does not match its bytes (or whose stream
+// fails validation) is quarantined, not fatal: the reader installs a
+// NaN tombstone in its place and continues, because the record framing
+// is length-prefixed and stays decodable. The corruption then surfaces
+// through the store's gap accounting as an explicitly degraded
+// (Inconclusive) verdict rather than a crash or a confident lie.
+// Quarantined chunks round-trip through the sentinel, so re-snapshots
+// stay deterministic.
+//
+// Version 2 (per-chunk encLen | data, no CRC, no sentinel) and
+// version 1 (flat: binCount uint32 | binCount × float64 bits per
+// series, no chunkSpan field) are still read; v1 bins are sealed into
 // chunks at the reading store's span on the way in.
 const (
 	snapshotMagic      = "FNLS"
-	snapshotVersion    = 2
+	snapshotVersion    = 3
+	snapshotVersionV2  = 2
 	snapshotVersionOld = 1
 )
+
+// snapshotTombstone is the encLen sentinel marking a quarantined chunk
+// in a version-3 snapshot.
+const snapshotTombstone = 0xFFFFFFFF
+
+// maxSnapshotSpan bounds the chunk span a snapshot header may declare.
+// Real spans are a few hundred bins (a day is 1440); the bound exists
+// because the per-chunk allocation limit is derived from the span, so
+// a corrupt header must not be able to demand gigabytes.
+const maxSnapshotSpan = 1 << 20
 
 // WriteSnapshot dumps the store's full contents in sorted key order.
 // The whole dump runs with every shard read-locked so it is a
@@ -125,8 +150,16 @@ func (s *Store) writeSnapshotLocked(w io.Writer) error {
 			return err
 		}
 		for _, c := range e.chunks {
+			if c.Quarantined() {
+				binary.BigEndian.PutUint32(scratch[:4], snapshotTombstone)
+				if _, err := bw.Write(scratch[:4]); err != nil {
+					return err
+				}
+				continue
+			}
 			binary.BigEndian.PutUint32(scratch[:4], uint32(c.EncodedBytes()))
-			if _, err := bw.Write(scratch[:4]); err != nil {
+			binary.BigEndian.PutUint32(scratch[4:8], c.CRC())
+			if _, err := bw.Write(scratch[:8]); err != nil {
 				return err
 			}
 			if _, err := bw.Write(c.Data()); err != nil {
@@ -147,17 +180,26 @@ func (s *Store) writeSnapshotLocked(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadSnapshot reconstructs a Store from a snapshot stream.
+// ReadSnapshot reconstructs a Store from a snapshot stream. Chunks
+// whose checksum fails are quarantined as NaN tombstones (visible via
+// Stats and the quarantined_chunks gauge), not fatal.
 func ReadSnapshot(r io.Reader) (*Store, error) {
-	return readSnapshotShards(r, StoreShards, 0)
+	var quarantined int
+	store, err := readSnapshotShards(r, StoreShards, 0, &quarantined)
+	if store != nil && quarantined > 0 {
+		store.quarantined.Add(int64(quarantined))
+	}
+	return store, err
 }
 
 // readSnapshotShards is ReadSnapshot into a store with the given shard
 // count (recovery reuses it so the reopened store matches the
 // configured striping). span applies only to version-1 snapshots,
 // whose flat bins are re-sealed on the way in (0 means the default);
-// a version-2 snapshot carries its own span and keeps it.
-func readSnapshotShards(r io.Reader, shards, span int) (*Store, error) {
+// a version-2+ snapshot carries its own span and keeps it. quarantined
+// (may be nil) accumulates the count of checksum-failed chunks
+// replaced by tombstones.
+func readSnapshotShards(r io.Reader, shards, span int, quarantined *int) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -171,7 +213,7 @@ func readSnapshotShards(r io.Reader, shards, span int) (*Store, error) {
 		return nil, err
 	}
 	version := binary.BigEndian.Uint16(scratch[:2])
-	if version != snapshotVersion && version != snapshotVersionOld {
+	if version != snapshotVersion && version != snapshotVersionV2 && version != snapshotVersionOld {
 		return nil, fmt.Errorf("monitor: unsupported snapshot version %d", version)
 	}
 	if _, err := io.ReadFull(br, scratch[:]); err != nil {
@@ -185,12 +227,12 @@ func readSnapshotShards(r io.Reader, shards, span int) (*Store, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("monitor: bad snapshot step %v", step)
 	}
-	if version >= snapshotVersion {
+	if version >= snapshotVersionV2 {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 			return nil, err
 		}
 		span = int(binary.BigEndian.Uint32(scratch[:4]))
-		if span < 2 {
+		if span < 2 || span > maxSnapshotSpan {
 			return nil, fmt.Errorf("monitor: bad snapshot chunk span %d", span)
 		}
 	} else if span < 2 {
@@ -221,8 +263,8 @@ func readSnapshotShards(r io.Reader, shards, span int) (*Store, error) {
 			return nil, err
 		}
 		var e *seriesEntry
-		if version >= snapshotVersion {
-			e, err = readSnapshotEntry(br, span)
+		if version >= snapshotVersionV2 {
+			e, err = readSnapshotEntry(br, span, version, quarantined)
 		} else {
 			e, err = readSnapshotEntryV1(br, span)
 		}
@@ -238,10 +280,15 @@ func readSnapshotShards(r io.Reader, shards, span int) (*Store, error) {
 	return store, nil
 }
 
-// readSnapshotEntry reads one version-2 series body: head, verbatim
-// sealed chunks (validated by a decode pass — a corrupt stream must
-// fail here, not panic on a later read), then the raw tail.
-func readSnapshotEntry(br *bufio.Reader, span int) (*seriesEntry, error) {
+// readSnapshotEntry reads one version-2/3 series body: head, verbatim
+// sealed chunks, then the raw tail. In version 3 each chunk carries a
+// CRC-32 (and may be a tombstone sentinel); a chunk whose checksum or
+// stream validation fails is quarantined — replaced by a NaN tombstone
+// with the stream framing intact — so one rotten block degrades one
+// chunk, not the whole recovery. Version 2 carries no CRC, so there a
+// corrupt stream still fails the entry (it cannot be told apart from a
+// framing error).
+func readSnapshotEntry(br *bufio.Reader, span int, version uint16, quarantined *int) (*seriesEntry, error) {
 	var scratch [8]byte
 	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 		return nil, err
@@ -258,20 +305,51 @@ func readSnapshotEntry(br *bufio.Reader, span int) (*seriesEntry, error) {
 		return nil, fmt.Errorf("monitor: snapshot head %d with no chunks", head)
 	}
 	e := &seriesEntry{head: int(head)}
+	quarantine := func() {
+		e.chunks = append(e.chunks, chunk.Tombstone(span))
+		if quarantined != nil {
+			*quarantined++
+		}
+	}
 	for c := uint32(0); c < chunkCount; c++ {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 			return nil, err
 		}
 		encLen := binary.BigEndian.Uint32(scratch[:4])
+		if version >= snapshotVersion && encLen == snapshotTombstone {
+			// A quarantined chunk from a previous recovery round-trips
+			// as a tombstone.
+			quarantine()
+			continue
+		}
 		// Bound the pre-allocation by what a span of values can encode
 		// (~9 bytes/value worst case) so a corrupt length fails at
 		// ReadFull instead of demanding gigabytes.
 		if int(encLen) > 10*span {
 			return nil, fmt.Errorf("monitor: snapshot chunk of %d bytes exceeds span %d", encLen, span)
 		}
+		var wantCRC uint32
+		if version >= snapshotVersion {
+			if _, err := io.ReadFull(br, scratch[4:8]); err != nil {
+				return nil, err
+			}
+			wantCRC = binary.BigEndian.Uint32(scratch[4:8])
+		}
 		data := make([]byte, encLen)
 		if _, err := io.ReadFull(br, data); err != nil {
 			return nil, err
+		}
+		if version >= snapshotVersion {
+			ck, err := chunk.FromEncoded(data, span)
+			if err != nil || ck.CRC() != wantCRC {
+				// The framing held (length-delimited read succeeded) but
+				// the bytes are rotten: quarantine this chunk and keep
+				// recovering the rest of the store.
+				quarantine()
+				continue
+			}
+			e.chunks = append(e.chunks, ck)
+			continue
 		}
 		ck, err := chunk.FromEncoded(data, span)
 		if err != nil {

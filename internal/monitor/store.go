@@ -80,6 +80,14 @@ type Store struct {
 
 	obs atomic.Pointer[obs.Collector]
 
+	// quarantined counts sealed chunks replaced by NaN tombstones
+	// after failing their on-disk checksum; degradedReads counts
+	// RangeInto calls whose window overlapped at least one such
+	// tombstone. Atomics: quarantine happens during recovery (before
+	// any collector is attached) and reads happen concurrently.
+	quarantined   atomic.Int64
+	degradedReads atomic.Int64
+
 	// persist is non-nil for stores opened with OpenPersistent; each
 	// shard then carries a write-ahead log (see wal.go).
 	persist *persister
@@ -295,7 +303,16 @@ func (s *Store) SetCollector(c *obs.Collector) {
 	}
 	if s.persist != nil {
 		c.SetGaugeFunc("monitor.wal_bytes", func() int64 { return s.persist.walBytes.Load() })
+		// persist_state: 0 healthy, 1 degraded (re-arm pending), 2
+		// failed (fail-stopped) — the one-glance durability light.
+		c.SetGaugeFunc("monitor.persist_state", func() int64 {
+			return int64(s.persist.state.Load())
+		})
 	}
+	// Corruption visibility: chunks quarantined by checksum failure and
+	// reads that crossed one (each such read surfaces as NaN gaps).
+	c.SetGaugeFunc("monitor.quarantined_chunks", func() int64 { return s.quarantined.Load() })
+	c.SetGaugeFunc("monitor.degraded_reads", func() int64 { return s.degradedReads.Load() })
 	// Compressed-store gauges: resident vs raw footprint of the binned
 	// history, for the dashboard's compression-ratio line. Each read
 	// walks the shards under their read locks — scrape-rate work.
@@ -658,6 +675,7 @@ func (s *Store) rangeInto(key topo.KPIKey, from, to time.Time, dst []float64, al
 			shi = sealed
 		}
 		// Decode encoded positions [lo+head, shi+head), chunk by chunk.
+		degraded := false
 		plo, phi := lo+head, shi+head
 		for ci := plo / span; ci*span < phi; ci++ {
 			clo := plo - ci*span
@@ -670,10 +688,27 @@ func (s *Store) rangeInto(key topo.KPIKey, from, to time.Time, dst []float64, al
 			}
 			off := ci*span + clo - plo
 			chunks[ci].DecodeInto(dst[off:off+chi-clo], clo, chi)
+			if chunks[ci].Quarantined() {
+				degraded = true
+			}
+		}
+		if degraded {
+			// The window crossed a quarantined chunk: its bins came back
+			// as NaN (explicit missing data), and the read is counted so
+			// operators can tie Inconclusive verdicts to disk corruption.
+			s.degradedReads.Add(1)
 		}
 	}
 	return dst, start.Add(time.Duration(lo) * s.step), true
 }
+
+// QuarantinedChunks returns the number of sealed chunks replaced by
+// NaN tombstones after failing their on-disk checksum.
+func (s *Store) QuarantinedChunks() int64 { return s.quarantined.Load() }
+
+// DegradedReads returns the number of RangeInto windows that crossed a
+// quarantined chunk (and therefore saw NaN where data was lost).
+func (s *Store) DegradedReads() int64 { return s.degradedReads.Load() }
 
 // ArrivalWatermark returns the node-local time the key's most recent
 // measurement was ingested, and whether the key holds one. Series
@@ -818,6 +853,9 @@ type Stats struct {
 	CompressedBytes int64
 	// Chunks is the number of sealed chunks across all series.
 	Chunks int
+	// QuarantinedChunks is how many of them are checksum-failure
+	// tombstones (all their bins read as NaN).
+	QuarantinedChunks int
 	// TailBins is the number of mutable (uncompressed) tail bins.
 	TailBins int
 	// Start and LastBin bound the stored span; LastBin is −1 for an
@@ -846,6 +884,9 @@ func (s *Store) Stats() Stats {
 			st.TailBins += len(e.tail)
 			for _, c := range e.chunks {
 				st.CompressedBytes += int64(c.EncodedBytes())
+				if c.Quarantined() {
+					st.QuarantinedChunks++
+				}
 			}
 		}
 		sh.mu.RUnlock()

@@ -7,15 +7,18 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 )
 
@@ -59,6 +62,18 @@ import (
 // and .old cleanup) change nothing. After replay the store compacts
 // synchronously, so a freshly opened directory always holds one
 // snapshot and empty logs.
+//
+// Disk faults are classified, not latched blindly. A transient failure
+// (ENOSPC, EINTR, EAGAIN, or an injected faultfs error) puts the
+// persister into the degraded state: WAL writes stop (the broken logs
+// cannot be trusted), the store stays fully usable in memory, and a
+// background loop retries with exponential backoff until it re-arms
+// durability — rotate the damaged logs aside, start fresh ones, and
+// write a complete snapshot from in-memory state, after which the
+// store is durable again with no restart. Anything else (a programming
+// error, a crash-schedule horizon) is permanent: the first such error
+// latches, persistence fail-stops, and only the in-memory store keeps
+// serving.
 const (
 	walMagic   = "FNLW"
 	walVersion = 1
@@ -80,6 +95,36 @@ const DefaultCompactBytes = 64 << 20
 // only bounds loss on a whole-machine crash.
 const DefaultSyncInterval = time.Second
 
+// PersistState is the durability health of a persistent store.
+type PersistState int32
+
+const (
+	// PersistHealthy: WALs live, snapshot current; every acknowledged
+	// append is durable.
+	PersistHealthy PersistState = iota
+	// PersistDegraded: a transient disk fault stopped WAL writes; the
+	// store serves from memory while the background loop retries a
+	// durability re-arm (fresh logs + full snapshot).
+	PersistDegraded
+	// PersistFailed: a permanent disk error latched; persistence is
+	// fail-stopped until restart, memory keeps serving.
+	PersistFailed
+)
+
+// String names the state for logs and dashboards.
+func (s PersistState) String() string {
+	switch s {
+	case PersistHealthy:
+		return "healthy"
+	case PersistDegraded:
+		return "degraded"
+	case PersistFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("PersistState(%d)", int32(s))
+	}
+}
+
 // PersistOptions tunes OpenPersistent. The zero value takes the
 // documented defaults.
 type PersistOptions struct {
@@ -95,9 +140,19 @@ type PersistOptions struct {
 	SyncInterval time.Duration
 	// ChunkSpan is the sealed-chunk width in bins (default
 	// chunk.DefaultSpan). It applies to fresh directories and to
-	// version-1 snapshot upgrades; a version-2 snapshot keeps the span
-	// it was written with.
+	// version-1 snapshot upgrades; a version-2+ snapshot keeps the
+	// span it was written with.
 	ChunkSpan int
+	// FS is the filesystem the persister talks to (default the real
+	// OS). Tests substitute a faultfs.FaultFS to inject disk faults
+	// and crash schedules.
+	FS faultfs.FS
+	// RearmBackoff paces durability re-arm attempts after a transient
+	// disk fault (zero value = the reconnect defaults: 100ms initial,
+	// 5s cap, ×2 growth, 20% jitter, unlimited attempts). A bounded
+	// MaxAttempts converts an episode that never clears into a
+	// permanent failure.
+	RearmBackoff Backoff
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -114,6 +169,9 @@ func (o PersistOptions) withDefaults() PersistOptions {
 	if o.SyncInterval == 0 {
 		o.SyncInterval = DefaultSyncInterval
 	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
+	}
 	return o
 }
 
@@ -127,21 +185,34 @@ type RecoveryStats struct {
 	// TornTails is the number of logs whose final record was torn by
 	// the crash and discarded (earlier records still replay).
 	TornTails int
+	// QuarantinedChunks is the number of sealed chunks whose stored
+	// checksum failed on snapshot read; each was replaced by a NaN
+	// tombstone instead of aborting recovery.
+	QuarantinedChunks int
 }
 
 // persister owns the on-disk state of a persistent store: the shard
 // logs (reached via each shard's wal field), the snapshot, and the
-// background sync/compact goroutine.
+// background sync/compact/re-arm goroutine.
 type persister struct {
 	dir   string
 	opts  PersistOptions
+	fs    faultfs.FS
 	store *Store
 
 	walBytes atomic.Int64 // live-log bytes since the last compaction
+	// state is the durability health (a PersistState); the WAL write
+	// path gates on it with one atomic load per append.
+	state atomic.Int32
+	// firstErr latches the first permanent disk error.
 	firstErr atomic.Pointer[error]
+	// degradedErr records the transient error that opened the current
+	// (or latest) degraded episode, for Sync/Compact callers.
+	degradedErr atomic.Pointer[error]
 
-	compactMu  sync.Mutex // one compaction at a time
+	compactMu  sync.Mutex // one compaction/re-arm at a time
 	compactReq chan struct{}
+	rearmReq   chan struct{}
 	quit       chan struct{}
 	done       chan struct{}
 	closeOnce  sync.Once
@@ -150,12 +221,18 @@ type persister struct {
 	recovered RecoveryStats
 }
 
+// logger returns the persister's component logger (discard when no
+// slog hub is installed).
+func (p *persister) logger() *slog.Logger {
+	return p.store.obs.Load().Logger("persist")
+}
+
 // shardWAL is one shard's append-only log. All methods suffixed Locked
 // require the owning shard's mutex.
 type shardWAL struct {
 	p    *persister
 	path string
-	f    *os.File
+	f    faultfs.File
 	w    *bufio.Writer
 	// rec accumulates the measurement bodies of the group record in
 	// progress; emitLocked seals it with a length prefix and CRC.
@@ -179,17 +256,46 @@ const walGroupCap = 32 << 10
 // (direct Append callers are not bound by the wire frame cap).
 const maxWALRecord = walGroupCap + 1 + 2 + 65535 + 2 + 65535 + 16
 
-// fail records the persister's first disk error. The store stays
-// usable in memory; Sync/Compact/Close surface the error and automatic
-// compaction stops (rotation must not run on a half-written log set).
+// transientDiskError classifies disk failures the persister can heal
+// from: out-of-space episodes that an operator (or a log rotation)
+// clears, interrupted syscalls, and the injected transient faults of
+// the faultfs test harness.
+func transientDiskError(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) || errors.Is(err, faultfs.ErrInjected)
+}
+
+// fail routes a disk error to its class: transient errors open a
+// degraded episode that the background loop heals; anything else
+// latches and fail-stops persistence. Either way the store keeps
+// serving from memory.
 func (p *persister) fail(err error) {
 	if err == nil {
 		return
 	}
-	p.firstErr.CompareAndSwap(nil, &err)
+	p.store.obs.Load().Add(obs.CtrDiskErrors, 1)
+	if transientDiskError(err) {
+		p.degradedErr.Store(&err)
+		if p.state.CompareAndSwap(int32(PersistHealthy), int32(PersistDegraded)) {
+			// First error of the episode: this is where the operator
+			// learns durability stopped, not when someone later calls
+			// Sync or Compact.
+			p.store.obs.Load().Add(obs.CtrPersistErrors, 1)
+			p.logger().Warn("transient disk fault: persistence degraded, re-arm scheduled",
+				"err", err, "dir", p.dir)
+			p.requestRearm()
+		}
+		return
+	}
+	if p.firstErr.CompareAndSwap(nil, &err) {
+		p.state.Store(int32(PersistFailed))
+		p.store.obs.Load().Add(obs.CtrPersistErrors, 1)
+		p.logger().Error("permanent disk fault: persistence fail-stopped, store continues in memory",
+			"err", err, "dir", p.dir)
+	}
 }
 
-// err returns the first recorded disk error, if any.
+// err returns the latched permanent disk error, if any.
 func (p *persister) err() error {
 	if e := p.firstErr.Load(); e != nil {
 		return *e
@@ -197,11 +303,39 @@ func (p *persister) err() error {
 	return nil
 }
 
+// stateErr resolves the persister's health into an error for
+// Sync/Compact callers: nil when healthy, the latched error when
+// failed, the episode's trigger when degraded.
+func (p *persister) stateErr() error {
+	switch PersistState(p.state.Load()) {
+	case PersistHealthy:
+		return nil
+	case PersistFailed:
+		return p.err()
+	default:
+		if e := p.degradedErr.Load(); e != nil {
+			return fmt.Errorf("monitor: persistence degraded (re-arm pending): %w", *e)
+		}
+		return errors.New("monitor: persistence degraded (re-arm pending)")
+	}
+}
+
+// healthy reports whether the WAL write path is live. One atomic load;
+// the append hot path calls it per measurement.
+func (p *persister) healthy() bool {
+	return p.state.Load() == int32(PersistHealthy)
+}
+
 // appendLocked adds m's body to the group record in progress. The
 // record is sealed by the flush that acknowledges the append (or when
 // it outgrows walGroupCap), so measurements from one batch share a
-// single length prefix, CRC and write.
+// single length prefix, CRC and write. While degraded or failed the
+// append is skipped: the damaged log cannot be trusted, and the re-arm
+// snapshot (or the operator's restart) re-covers memory wholesale.
 func (w *shardWAL) appendLocked(m Measurement) {
+	if !w.p.healthy() {
+		return
+	}
 	rec, err := appendMeasurementBody(w.rec, m)
 	if err != nil {
 		w.p.fail(err)
@@ -217,7 +351,8 @@ func (w *shardWAL) appendLocked(m Measurement) {
 // emitLocked seals the pending group record — length prefix, payload,
 // CRC — into the buffered writer.
 func (w *shardWAL) emitLocked() {
-	if len(w.rec) == 0 {
+	if len(w.rec) == 0 || !w.p.healthy() {
+		w.rec = w.rec[:0]
 		return
 	}
 	var hdr [4]byte
@@ -250,8 +385,12 @@ func (w *shardWAL) emitLocked() {
 // comes from the periodic fsync pass.
 func (w *shardWAL) flushLocked() {
 	w.emitLocked()
+	if !w.p.healthy() {
+		return
+	}
 	if err := w.w.Flush(); err != nil {
 		w.p.fail(err)
+		return
 	}
 	if n := w.pendingAppends; n > 0 {
 		w.pendingAppends = 0
@@ -265,6 +404,9 @@ func (w *shardWAL) flushLocked() {
 // syncLocked seals, flushes and fsyncs the log file.
 func (w *shardWAL) syncLocked() {
 	w.emitLocked()
+	if !w.p.healthy() {
+		return
+	}
 	if err := w.w.Flush(); err != nil {
 		w.p.fail(err)
 		return
@@ -289,11 +431,19 @@ func (w *shardWAL) closeLocked() error {
 	return closeErr
 }
 
+// discardLocked closes the log file best-effort, ignoring flush and
+// sync errors — the re-arm path calls it on logs already known to be
+// damaged.
+func (w *shardWAL) discardLocked() {
+	w.w.Flush()
+	w.f.Close()
+}
+
 // createShardWAL creates (truncating) a shard log and writes its
 // header.
 func createShardWAL(p *persister, shard int, start time.Time, step time.Duration) (*shardWAL, error) {
 	path := filepath.Join(p.dir, fmt.Sprintf("%s%d%s", walPrefix, shard, walLiveSuffix))
-	f, err := os.Create(path)
+	f, err := p.fs.Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -319,24 +469,55 @@ func createShardWAL(p *persister, shard int, start time.Time, step time.Duration
 // log. start and step apply only to a fresh directory; recovered state
 // keeps its own epoch, and a non-zero step that contradicts the
 // recovered one is an error. The store must be released with Close.
+//
+// The directory must be usable at open time: a missing parent or an
+// unwritable directory fails here, loudly, instead of degrading into a
+// silently memory-only store.
 func OpenPersistent(dir string, start time.Time, step time.Duration, opts PersistOptions) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
 	p := &persister{
 		dir:        dir,
 		opts:       opts,
+		fs:         opts.FS,
 		compactReq: make(chan struct{}, 1),
+		rearmReq:   make(chan struct{}, 1),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+
+	// Fail fast on an unusable data directory. Requiring the parent to
+	// exist catches a mistyped path (-data /mnt/fnl/data against an
+	// unmounted /mnt) that MkdirAll would happily deep-create on the
+	// root filesystem; the probe write catches read-only mounts and
+	// permission walls before any ingest is accepted.
+	if parent := filepath.Dir(filepath.Clean(dir)); parent != "." && parent != string(filepath.Separator) {
+		if _, err := p.fs.ReadDir(parent); err != nil {
+			return nil, fmt.Errorf("monitor: data directory parent unusable: %w", err)
+		}
+	}
+	if err := p.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("monitor: creating data directory: %w", err)
+	}
+	probePath := filepath.Join(dir, ".fnls-probe")
+	probe, err := p.fs.Create(probePath)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: data directory not writable: %w", err)
+	}
+	_, werr := probe.Write([]byte{0})
+	cerr := probe.Close()
+	p.fs.Remove(probePath)
+	if werr != nil {
+		return nil, fmt.Errorf("monitor: data directory not writable: %w", werr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("monitor: data directory not writable: %w", cerr)
 	}
 
 	// Phase 1: snapshot.
 	var store *Store
 	snapPath := filepath.Join(dir, snapshotFile)
-	if f, err := os.Open(snapPath); err == nil {
-		store, err = readSnapshotShards(f, opts.Shards, opts.ChunkSpan)
+	if f, err := p.fs.Open(snapPath); err == nil {
+		store, err = readSnapshotShards(f, opts.Shards, opts.ChunkSpan, &p.recovered.QuarantinedChunks)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("monitor: recovering snapshot: %w", err)
@@ -349,13 +530,13 @@ func OpenPersistent(dir string, start time.Time, step time.Duration, opts Persis
 	// Phase 2: shard logs. Rotated (.old) logs predate the live ones,
 	// so they replay first; within a generation file order is
 	// irrelevant (shards hold disjoint keys).
-	oldLogs, liveLogs, err := listWALs(dir)
+	oldLogs, liveLogs, err := listWALs(p.fs, dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, group := range [][]string{oldLogs, liveLogs} {
 		for _, path := range group {
-			st, err := replayWAL(path, store, start, step, opts.Shards, opts.ChunkSpan, &p.recovered)
+			st, err := replayWAL(p.fs, path, store, start, step, opts.Shards, opts.ChunkSpan, &p.recovered)
 			if err != nil {
 				return nil, err
 			}
@@ -368,6 +549,9 @@ func OpenPersistent(dir string, start time.Time, step time.Duration, opts Persis
 	}
 	if step > 0 && store.step != step {
 		return nil, fmt.Errorf("monitor: step mismatch: store has %v, caller wants %v", store.step, step)
+	}
+	if p.recovered.QuarantinedChunks > 0 {
+		store.quarantined.Add(int64(p.recovered.QuarantinedChunks))
 	}
 
 	// Phase 3: attach fresh logs and compact synchronously, so the
@@ -385,8 +569,8 @@ func OpenPersistent(dir string, start time.Time, step time.Duration, opts Persis
 
 // listWALs returns the rotated and live shard logs in dir, each group
 // sorted by name.
-func listWALs(dir string) (oldLogs, liveLogs []string, err error) {
-	entries, err := os.ReadDir(dir)
+func listWALs(fsys faultfs.FS, dir string) (oldLogs, liveLogs []string, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -411,8 +595,8 @@ func listWALs(dir string) (oldLogs, liveLogs []string, err error) {
 // the log's header epoch if it does not exist yet. Torn tails are
 // counted and ignored; corruption before the tail is an error (an
 // append-only log cannot be damaged mid-file by a crash).
-func replayWAL(path string, store *Store, start time.Time, step time.Duration, shards, span int, stats *RecoveryStats) (*Store, error) {
-	f, err := os.Open(path)
+func replayWAL(fsys faultfs.FS, path string, store *Store, start time.Time, step time.Duration, shards, span int, stats *RecoveryStats) (*Store, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return store, err
 	}
@@ -516,8 +700,8 @@ func (p *persister) initDisk() error {
 	return p.compact()
 }
 
-// run is the background maintenance loop: periodic fsync plus
-// requested compactions.
+// run is the background maintenance loop: periodic fsync, requested
+// compactions, and durability re-arms after transient faults.
 func (p *persister) run() {
 	defer close(p.done)
 	var tick <-chan time.Time
@@ -532,6 +716,8 @@ func (p *persister) run() {
 			return
 		case <-p.compactReq:
 			p.compact()
+		case <-p.rearmReq:
+			p.rearmLoop()
 		case <-tick:
 			p.syncAll()
 		}
@@ -547,18 +733,49 @@ func (p *persister) requestCompact() {
 	}
 }
 
-// syncAll fsyncs every shard log.
-func (p *persister) syncAll() {
-	s := p.store
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		if sh.wal != nil {
-			sh.wal.syncLocked()
-		}
-		sh.mu.Unlock()
+// requestRearm schedules a background durability re-arm (at most one
+// outstanding request).
+func (p *persister) requestRearm() {
+	select {
+	case p.rearmReq <- struct{}{}:
+	default:
 	}
-	s.obs.Load().Add(obs.CtrWALSyncs, 1)
+}
+
+// rearmLoop retries the durability re-arm with exponential backoff +
+// jitter until it succeeds, the persister fails permanently, or the
+// attempt budget (PersistOptions.RearmBackoff.MaxAttempts) runs out —
+// in which case the episode is promoted to a permanent failure.
+func (p *persister) rearmLoop() {
+	bo := newBackoffState(p.opts.RearmBackoff)
+	for {
+		if PersistState(p.state.Load()) != PersistDegraded {
+			return // healed by a manual Compact, or failed permanently
+		}
+		err := p.rearm()
+		if err == nil {
+			return
+		}
+		if p.err() != nil {
+			return // permanent failure latched mid-attempt
+		}
+		d, ok := bo.next()
+		if !ok {
+			// The episode outlived the retry budget: fail-stop with the
+			// last error so operators get the latched-error semantics.
+			// %v, not %w: wrapping an ENOSPC here would re-classify
+			// the give-up as transient and loop forever.
+			p.fail(fmt.Errorf("monitor: durability re-arm gave up after %d attempts: %v",
+				p.opts.RearmBackoff.MaxAttempts, err))
+			return
+		}
+		p.logger().Warn("durability re-arm failed, backing off", "err", err, "retry_in", d)
+		select {
+		case <-p.quit:
+			return
+		case <-time.After(d):
+		}
+	}
 }
 
 // compact rotates every shard log aside, dumps a consistent snapshot
@@ -567,11 +784,29 @@ func (p *persister) syncAll() {
 // same store: before the snapshot rename the old snapshot plus rotated
 // logs cover everything; after it the rotated logs replay
 // idempotently.
-func (p *persister) compact() error {
+func (p *persister) compact() error { return p.compactAs(false) }
+
+// rearm is compact in recovery mode: the damaged live logs are rotated
+// aside best-effort (their tails may be torn — replay handles that),
+// fresh logs are created, and a complete snapshot of in-memory state
+// is written, restoring full durability without a restart.
+func (p *persister) rearm() error { return p.compactAs(true) }
+
+// compactAs is the shared rotate-snapshot-install cycle. In rearming
+// mode close/rotate errors on the old logs are tolerated (the logs are
+// already damaged goods) and the WAL write path is re-enabled — under
+// the shard locks, so no append can fall between the snapshot cut and
+// the fresh logs.
+func (p *persister) compactAs(rearming bool) error {
 	p.compactMu.Lock()
 	defer p.compactMu.Unlock()
 	if err := p.err(); err != nil {
 		return err
+	}
+	if !rearming && !p.healthy() {
+		// A degraded persister cannot trust its live logs; a manual
+		// Compact during an episode performs the re-arm instead.
+		rearming = true
 	}
 	s := p.store
 
@@ -584,15 +819,25 @@ func (p *persister) compact() error {
 	rotateErr := func() error {
 		for i := range s.shards {
 			sh := &s.shards[i]
-			if sh.wal == nil {
-				continue
-			}
-			if err := sh.wal.closeLocked(); err != nil {
-				return err
-			}
-			oldPath := strings.TrimSuffix(sh.wal.path, walLiveSuffix) + walOldSuffix
-			if err := os.Rename(sh.wal.path, oldPath); err != nil {
-				return err
+			if sh.wal != nil {
+				if rearming {
+					// Damaged log: close best-effort and rotate it aside if
+					// the rename cooperates — its intact prefix still
+					// replays if we crash before the new snapshot lands.
+					sh.wal.discardLocked()
+					oldPath := strings.TrimSuffix(sh.wal.path, walLiveSuffix) + walOldSuffix
+					p.fs.Rename(sh.wal.path, oldPath)
+					sh.wal = nil
+				} else {
+					if err := sh.wal.closeLocked(); err != nil {
+						return err
+					}
+					oldPath := strings.TrimSuffix(sh.wal.path, walLiveSuffix) + walOldSuffix
+					if err := p.fs.Rename(sh.wal.path, oldPath); err != nil {
+						return err
+					}
+					sh.wal = nil
+				}
 			}
 			w, err := createShardWAL(p, i, s.start, s.step)
 			if err != nil {
@@ -604,12 +849,21 @@ func (p *persister) compact() error {
 		return nil
 	}()
 	var snapErr error
-	var tmp *os.File
+	var tmp faultfs.File
+	rearmed := false
 	tmpPath := filepath.Join(p.dir, snapshotTmpFile)
 	if rotateErr == nil {
-		tmp, snapErr = os.Create(tmpPath)
+		tmp, snapErr = p.fs.Create(tmpPath)
 		if snapErr == nil {
 			snapErr = s.writeSnapshotLocked(tmp)
+		}
+		if snapErr == nil && rearming {
+			// Re-enable the WAL write path while every shard is still
+			// locked: the snapshot buffer holds everything up to this
+			// instant, the fresh logs will hold everything after it.
+			if p.state.CompareAndSwap(int32(PersistDegraded), int32(PersistHealthy)) {
+				rearmed = true
+			}
 		}
 	}
 	for i := len(s.shards) - 1; i >= 0; i-- {
@@ -630,22 +884,22 @@ func (p *persister) compact() error {
 		}
 	}
 	if snapErr == nil {
-		snapErr = os.Rename(tmpPath, filepath.Join(p.dir, snapshotFile))
+		snapErr = p.fs.Rename(tmpPath, filepath.Join(p.dir, snapshotFile))
 	}
 	if snapErr != nil {
-		os.Remove(tmpPath)
+		p.fs.Remove(tmpPath)
 		p.fail(snapErr)
 		return snapErr
 	}
-	if err := syncDir(p.dir); err != nil {
+	if err := syncFSDir(p.fs, p.dir); err != nil {
 		p.fail(err)
 		return err
 	}
 	// The snapshot now covers everything the rotated logs held.
-	oldLogs, _, err := listWALs(p.dir)
+	oldLogs, _, err := listWALs(p.fs, p.dir)
 	if err == nil {
 		for _, path := range oldLogs {
-			if rmErr := os.Remove(path); rmErr != nil && err == nil {
+			if rmErr := p.fs.Remove(path); rmErr != nil && err == nil {
 				err = rmErr
 			}
 		}
@@ -656,13 +910,34 @@ func (p *persister) compact() error {
 	}
 	p.walBytes.Store(0)
 	s.obs.Load().Add(obs.CtrCompactions, 1)
+	if rearmed {
+		s.obs.Load().Add(obs.CtrWALRearms, 1)
+		p.logger().Info("durability re-armed: fresh logs + full snapshot", "dir", p.dir)
+	}
 	return nil
 }
 
-// syncDir fsyncs a directory so a just-renamed file survives a machine
-// crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// syncAll fsyncs every shard log.
+func (p *persister) syncAll() {
+	if !p.healthy() {
+		return
+	}
+	s := p.store
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.wal != nil {
+			sh.wal.syncLocked()
+		}
+		sh.mu.Unlock()
+	}
+	s.obs.Load().Add(obs.CtrWALSyncs, 1)
+}
+
+// syncFSDir fsyncs a directory so a just-renamed file survives a
+// machine crash.
+func syncFSDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -681,20 +956,25 @@ func (p *persister) close() error {
 		close(p.quit)
 		<-p.done
 		s := p.store
+		healthy := p.healthy()
 		var firstErr error
 		for i := range s.shards {
 			sh := &s.shards[i]
 			sh.mu.Lock()
 			if sh.wal != nil {
-				if err := sh.wal.closeLocked(); err != nil && firstErr == nil {
-					firstErr = err
+				if healthy {
+					if err := sh.wal.closeLocked(); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					sh.wal.discardLocked()
 				}
 				sh.wal = nil
 			}
 			sh.mu.Unlock()
 		}
 		if firstErr == nil {
-			firstErr = p.err()
+			firstErr = p.stateErr()
 		}
 		p.closeErr = firstErr
 	})
@@ -708,6 +988,15 @@ var ErrNotPersistent = errors.New("monitor: store is not persistent")
 // Persistent reports whether the store was opened with OpenPersistent.
 func (s *Store) Persistent() bool { return s.persist != nil }
 
+// PersistState returns the durability health of a persistent store.
+// In-memory stores report PersistHealthy (there is no disk to fail).
+func (s *Store) PersistState() PersistState {
+	if s.persist == nil {
+		return PersistHealthy
+	}
+	return PersistState(s.persist.state.Load())
+}
+
 // Recovered returns what OpenPersistent rebuilt from disk (zero for a
 // fresh directory or an in-memory store).
 func (s *Store) Recovered() RecoveryStats {
@@ -718,20 +1007,23 @@ func (s *Store) Recovered() RecoveryStats {
 }
 
 // Sync flushes and fsyncs every shard log. In-memory stores return
-// ErrNotPersistent.
+// ErrNotPersistent; a degraded or failed persister returns the error
+// that broke it (the slog hub already reported it at first
+// occurrence).
 func (s *Store) Sync() error {
 	if s.persist == nil {
 		return ErrNotPersistent
 	}
 	s.persist.syncAll()
-	return s.persist.err()
+	return s.persist.stateErr()
 }
 
 // Compact rotates the shard logs into a fresh snapshot and truncates
 // them. The background loop calls it automatically once the logs grow
 // past PersistOptions.CompactBytes; exposing it lets operators compact
-// on demand (e.g. right after a Prune). In-memory stores return
-// ErrNotPersistent.
+// on demand (e.g. right after a Prune). On a degraded persister it
+// performs the durability re-arm immediately instead of waiting for
+// the backoff loop. In-memory stores return ErrNotPersistent.
 func (s *Store) Compact() error {
 	if s.persist == nil {
 		return ErrNotPersistent

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // persistOptsNoBG disables the background loop's timers so tests
@@ -210,7 +212,7 @@ func TestCompactTruncatesLogsAndSurvivesReopen(t *testing.T) {
 	if got := logBytes(t, dir); got >= preCompact {
 		t.Fatalf("compaction did not shrink logs: %d → %d", preCompact, got)
 	}
-	if olds, _, _ := listWALs(dir); len(olds) != 0 {
+	if olds, _, _ := listWALs(faultfs.OS, dir); len(olds) != 0 {
 		t.Fatalf("rotated logs left behind: %v", olds)
 	}
 	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
@@ -272,7 +274,7 @@ func TestRecoveryReplaysRotatedLogs(t *testing.T) {
 	if !bytes.Equal(snapshotBytes(t, re), snapshotBytes(t, ref)) {
 		t.Fatal("rotated-log recovery diverged")
 	}
-	if olds, _, _ := listWALs(dir); len(olds) != 0 {
+	if olds, _, _ := listWALs(faultfs.OS, dir); len(olds) != 0 {
 		t.Fatal("reopen did not consume the rotated log")
 	}
 }
@@ -414,7 +416,7 @@ func TestAutoCompactTriggers(t *testing.T) {
 // logBytes sums the live shard log sizes.
 func logBytes(t *testing.T, dir string) int64 {
 	t.Helper()
-	_, live, err := listWALs(dir)
+	_, live, err := listWALs(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

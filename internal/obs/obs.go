@@ -130,6 +130,19 @@ const (
 	CtrCompactions = "monitor.compactions"
 	// CtrWALSyncs counts explicit fsync passes over the shard logs.
 	CtrWALSyncs = "monitor.wal_syncs"
+	// CtrDiskErrors counts disk I/O failures the persister observed
+	// (transient and permanent alike; each degraded episode starts
+	// with at least one).
+	CtrDiskErrors = "monitor.disk_errors"
+	// CtrWALRearms counts successful durability re-arms: after a
+	// transient disk fault the persister rotated to fresh logs and
+	// rewrote a full snapshot from memory.
+	CtrWALRearms = "monitor.wal_rearms"
+	// CtrPersistErrors counts persist-state transitions out of
+	// healthy — the operator-facing "durability was lost" signal,
+	// emitted at the first error of an episode rather than when
+	// someone later calls Sync or Compact.
+	CtrPersistErrors = "monitor.store_persist_errors"
 )
 
 // Collector aggregates counters, stage histograms and recent traces.

@@ -145,6 +145,9 @@ var promHelp = map[string]string{
 	CtrCompactions:     "WAL compactions (snapshot dump + log truncation).",
 	CtrChangesAssessed: "Completed change assessments.",
 	CtrKPIsFlagged:     "KPI changes attributed to software changes.",
+	CtrDiskErrors:      "Disk I/O failures observed by the persister.",
+	CtrWALRearms:       "Durability re-arms after transient disk faults.",
+	CtrPersistErrors:   "Persist-state transitions out of healthy.",
 }
 
 // helpFor resolves the HELP string for a registry base name.
