@@ -38,6 +38,16 @@
 //
 //	funnelbench -run-read-bench                  measure, write -read-out
 //	funnelbench -run-read-bench -bench-check F   measure and gate vs F
+//
+// and a fifth measures the streaming assessment path — p99
+// bin-to-verdict latency of the assess-on-ingest Streamer against the
+// pull-mode batch sweep at equal ingest rate, plus the attached
+// feed's cost on AppendBatch throughput (committed as BENCH_5.json;
+// the check enforces the ≥ 5× latency advantage and the ≤ 1.05×
+// ingest-overhead cap described in streambench.go):
+//
+//	funnelbench -run-stream-bench                  measure, write -stream-out
+//	funnelbench -run-stream-bench -bench-check F   measure and gate vs F
 package main
 
 import (
@@ -77,6 +87,9 @@ func main() {
 		runRead   = flag.Bool("run-read-bench", false, "run the assessment read-path suite (flat copy vs chunked RangeInto, assess e2e, compression)")
 		readIters = flag.Int("read-iters", 400, "iterations per read-path benchmark entry")
 		readOut   = flag.String("read-out", "BENCH_4.json", "output path for the read-path baseline JSON")
+
+		runStream = flag.Bool("run-stream-bench", false, "run the streaming-assessment suite (p99 bin-to-verdict stream vs pull, attached-feed ingest overhead)")
+		streamOut = flag.String("stream-out", "BENCH_5.json", "output path for the streaming baseline JSON")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -84,6 +97,14 @@ func main() {
 	if *runIngest {
 		if err := runIngestSuite(*ingestMeas, *ingestOut, *benchCheck); err != nil {
 			fmt.Fprintf(os.Stderr, "funnelbench: ingest bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runStream {
+		if err := runStreamBenchSuite(*streamOut, *benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "funnelbench: stream bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

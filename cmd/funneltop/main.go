@@ -1,9 +1,10 @@
 // Command funneltop is a live terminal dashboard over a running
 // funnelserve's telemetry surface. It polls /metrics/history (the
 // daemon's self-scrape ring) and /traces, and renders an operator view:
-// ingest rate, store shard balance, WAL churn, per-stage latency
-// quantiles as sparklines, and the most recent verdicts with their
-// end-to-end bin-to-verdict latency.
+// ingest rate, store shard balance, WAL churn, the streaming
+// assessor's backlog and p99 bin-to-verdict trajectory, per-stage
+// latency quantiles as sparklines, and the most recent verdicts with
+// their end-to-end bin-to-verdict latency.
 //
 //	funneltop -addr 127.0.0.1:7104
 //	funneltop -addr 127.0.0.1:7104 -once        # one frame, no ANSI clear
@@ -160,6 +161,14 @@ func render(w io.Writer, addr string, s *snapshot) {
 	// — the operator's first stop when a verdict comes back degraded.
 	if line := diskHealthLine(h); line != "" {
 		fmt.Fprintf(w, "disk     %s\n", line)
+	}
+
+	// Streaming assessment, present only when a streamer is attached:
+	// backlog pressure (queue depth and sheds), the score-state
+	// population, cache economics, and the freshness SLO itself — the
+	// p99 bin-to-verdict trajectory.
+	for _, line := range streamPanel(h) {
+		fmt.Fprintf(w, "%s\n", line)
 	}
 
 	// Stage latency panel: p99 trajectory as a sparkline, current
@@ -332,6 +341,46 @@ func formatBytes(b float64) string {
 	default:
 		return fmt.Sprintf("%.0fB", b)
 	}
+}
+
+// streamPanel renders the streaming-assessment panel, or nil when the
+// collector carries no streamer telemetry (pull-mode daemon). The
+// first line is backlog and cache state; the second, present once any
+// verdict has been stamped, is the p99 bin-to-verdict sparkline — the
+// SLO the streaming mode exists to hold down.
+func streamPanel(h *obs.HistoryDump) []string {
+	queueSeries, attached := h.Series[obs.GaugeStreamQueue]
+	advances := last(h.Series[obs.CtrStreamAdvances])
+	if !attached && advances == 0 {
+		return nil
+	}
+	hits := last(h.Series[obs.CtrStreamCacheHits])
+	misses := last(h.Series[obs.CtrStreamCacheMisses])
+	hitRate := "n/a"
+	if hits+misses > 0 {
+		hitRate = fmt.Sprintf("%.0f%%", 100*hits/(hits+misses))
+	}
+	shedNote := ""
+	if sheds := last(h.Series[obs.CtrStreamSheds]); sheds > 0 {
+		shedNote = fmt.Sprintf("  SHEDS %.0f", sheds)
+	}
+	lines := []string{fmt.Sprintf(
+		"stream   queue %s %3.0f  tracked %.0f  pending %.0f  advances %.0f  cache-hit %s  invalidations %.0f%s",
+		sparkline(queueSeries, 12), last(queueSeries),
+		last(h.Series[obs.GaugeStreamTracked]),
+		last(h.Series[obs.GaugeStreamPending]),
+		advances, hitRate,
+		last(h.Series[obs.CtrStreamInvalidations]), shedNote)}
+	if st, ok := h.Stages[obs.StageBinToVerdict]; ok && len(st.Count) > 0 && st.Count[len(st.Count)-1] > 0 {
+		p99s := make([]float64, len(st.P99us))
+		for i, v := range st.P99us {
+			p99s[i] = float64(v)
+		}
+		n := len(st.Count) - 1
+		lines = append(lines, fmt.Sprintf("         b2v p99 %s %s  verdicts %d",
+			sparkline(p99s, 30), formatMicros(st.P99us[n]), st.Count[n]))
+	}
+	return lines
 }
 
 // diskHealthLine renders the disk-health panel body, or "" when the

@@ -26,6 +26,13 @@ func fixtureServer(t *testing.T) *httptest.Server {
 	c.SetGaugeFunc("monitor.store_raw_bytes", func() int64 { return 4 << 20 })
 	c.Observe(obs.StageAssess, 3*time.Millisecond)
 	c.Observe(obs.StageBinToVerdict, 42*time.Second)
+	c.Add(obs.CtrStreamAdvances, 4821)
+	c.Add(obs.CtrStreamCacheHits, 97)
+	c.Add(obs.CtrStreamCacheMisses, 3)
+	c.Add(obs.CtrStreamInvalidations, 2)
+	c.SetGaugeFunc(obs.GaugeStreamQueue, func() int64 { return 3 })
+	c.SetGaugeFunc(obs.GaugeStreamTracked, func() int64 { return 12 })
+	c.SetGaugeFunc(obs.GaugeStreamPending, func() int64 { return 1 })
 	// Hour-long step: the synchronous first scrape fills the ring and
 	// the ticker stays quiet for the test's lifetime.
 	c.StartHistory(time.Hour, 2*time.Hour)
@@ -74,6 +81,11 @@ func TestPollAndRender(t *testing.T) {
 		"chunks 672",      //
 		"ratio 4.0×",      //
 		"bin_to_verdict",  // stage panel includes the new stage
+		"tracked 12",      // streaming panel: score-state population
+		"advances 4821",   //
+		"cache-hit 97%",   //
+		"b2v p99",         // freshness-SLO sparkline line
+		"verdicts 1",      //
 		"chg-9",           // recent-verdicts panel
 		" 1/ 2 flagged",   // one flagged KPI of two
 		"b2v 42s",         // end-to-end latency rendered
@@ -148,6 +160,32 @@ func TestBalanceNote(t *testing.T) {
 	}
 	if got := balanceNote(1, 100); got != "(skewed)" {
 		t.Errorf("balanceNote(1,100) = %q", got)
+	}
+}
+
+func TestStreamPanel(t *testing.T) {
+	// A pull-mode daemon exposes no streamer telemetry: no panel.
+	if lines := streamPanel(&obs.HistoryDump{Series: map[string][]float64{}}); lines != nil {
+		t.Fatalf("pull-mode daemon rendered a stream panel: %q", lines)
+	}
+
+	// An attached-but-idle streamer (queue gauge registered, nothing
+	// advanced yet) still surfaces, so the operator sees it is wired up.
+	h := &obs.HistoryDump{Series: map[string][]float64{
+		obs.GaugeStreamQueue: {0},
+	}}
+	lines := streamPanel(h)
+	if len(lines) != 1 || !strings.Contains(lines[0], "cache-hit n/a") {
+		t.Fatalf("idle streamer panel = %q", lines)
+	}
+
+	// Sheds are an incident, not a statistic: they render in caps.
+	h.Series[obs.CtrStreamSheds] = []float64{7}
+	h.Series[obs.CtrStreamCacheHits] = []float64{3}
+	h.Series[obs.CtrStreamCacheMisses] = []float64{1}
+	lines = streamPanel(h)
+	if len(lines) != 1 || !strings.Contains(lines[0], "SHEDS 7") || !strings.Contains(lines[0], "cache-hit 75%") {
+		t.Fatalf("shedding streamer panel = %q", lines)
 	}
 }
 

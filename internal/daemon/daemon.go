@@ -58,12 +58,34 @@ type Config struct {
 	// obs.DefaultHistoryStep / obs.DefaultHistoryRetention; the ring
 	// only runs when the daemon has a collector.
 	HistoryStep, HistoryRetention time.Duration
+	// Stream switches the assessment engine from the pull-mode Online
+	// (re-sweep when the observation window completes) to the
+	// push-driven Streamer (per-bin score advance off the store's bin
+	// feed). Reports are byte-identical either way; streaming trades a
+	// small per-bin cost for a much lower bin-to-verdict latency.
+	Stream bool
+	// StreamWorkers / StreamQueue tune the streaming engine (zero =
+	// funnel.StreamConfig defaults). Ignored unless Stream is set.
+	StreamWorkers, StreamQueue int
+}
+
+// assessEngine is the face shared by the pull-mode and streaming
+// assessors.
+type assessEngine interface {
+	RegisterChange(changelog.Change) error
+	Reports() <-chan *funnel.Report
+	Pending() int
+	Close()
 }
 
 // Daemon is a running FUNNEL service.
 type Daemon struct {
 	store  *monitor.Store
 	topo   *topo.Topology
+	engine assessEngine
+	// online is the pull-mode engine when Config.Stream is off (the
+	// event loop drives its readiness polls); nil in streaming mode,
+	// where the store's bin feed drives the engine instead.
 	online *funnel.Online
 	obs    *obs.Collector
 	log    *slog.Logger
@@ -127,23 +149,43 @@ func Start(cfg Config) (*Daemon, error) {
 		logger = logger.With("component", "daemon")
 	}
 	tp := topo.NewTopology()
-	online, err := funnel.NewOnline(cfg.Store, tp, cfg.Pipeline)
-	if err != nil {
-		return nil, err
-	}
 	d := &Daemon{
 		store:  cfg.Store,
 		topo:   tp,
-		online: online,
 		obs:    col,
 		log:    logger,
 		events: make(chan func(), 256),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	var err error
+	if cfg.Stream {
+		var sr *funnel.Streamer
+		sr, err = funnel.NewStreamer(cfg.Store, tp, cfg.Pipeline, funnel.StreamConfig{
+			Workers:    cfg.StreamWorkers,
+			QueueDepth: cfg.StreamQueue,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.engine = sr
+	} else {
+		d.online, err = funnel.NewOnline(cfg.Store, tp, cfg.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = d.online
+	}
 
-	// Event loop: measurements and admin commands serialize here.
-	sub, cancel := cfg.Store.Subscribe(nil, 1<<16)
+	// Event loop: measurements and admin commands serialize here. In
+	// streaming mode the store's bin feed drives the engine, so the
+	// loop skips the measurement subscription entirely (a nil channel
+	// never fires) and only serializes admin commands.
+	var sub <-chan monitor.Measurement
+	cancel := func() int { return 0 }
+	if !cfg.Stream {
+		sub, cancel = cfg.Store.Subscribe(nil, 1<<16)
+	}
 	go func() {
 		defer close(d.done)
 		defer cancel()
@@ -236,7 +278,7 @@ func (d *Daemon) DebugAddr() net.Addr { return d.debugAddr }
 func (d *Daemon) Collector() *obs.Collector { return d.obs }
 
 // Reports delivers finished assessments.
-func (d *Daemon) Reports() <-chan *funnel.Report { return d.online.Reports() }
+func (d *Daemon) Reports() <-chan *funnel.Report { return d.engine.Reports() }
 
 // Register registers a change programmatically (the admin endpoint
 // calls the same path). Unknown servers are deployed into the topology
@@ -262,7 +304,7 @@ func (d *Daemon) Register(req RegisterRequest) error {
 		for _, srv := range req.Servers {
 			d.topo.Deploy(req.Service, srv)
 		}
-		errc <- d.online.RegisterChange(changelog.Change{
+		errc <- d.engine.RegisterChange(changelog.Change{
 			ID: req.ID, Type: typ, Service: req.Service,
 			Servers: req.Servers, At: req.At,
 		})
@@ -417,7 +459,7 @@ func (d *Daemon) Close() {
 	d.adminConn.Wait()
 	close(d.quit)
 	<-d.done
-	d.online.Close()
+	d.engine.Close()
 	d.obs.StopHistory()
 	if d.log != nil {
 		d.log.Info("daemon stopped")

@@ -472,3 +472,98 @@ func waitForBins(t *testing.T, store *monitor.Store, n int) {
 	}
 	t.Fatal("store never caught up")
 }
+
+// TestDaemonStreamMode drives the same end-to-end scenario through the
+// streaming engine: network ingest feeds the bin feed, the streamer
+// advances scores per bin, and the report matches what the pull-mode
+// daemon emits for identical input.
+func TestDaemonStreamMode(t *testing.T) {
+	start := time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC)
+	store := monitor.NewStore(start, time.Minute)
+	col := obs.NewCollector()
+	d, err := Start(Config{
+		Store: store,
+		Pipeline: funnel.Config{
+			ServerMetrics: []string{"mem.util"},
+			HistoryDays:   2,
+		},
+		IngestAddr: "127.0.0.1:0",
+		AdminAddr:  "127.0.0.1:0",
+		Obs:        col,
+		Stream:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.DeployService("kv.cache", "d-0", "d-1", "d-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(RegisterRequest{
+		ID: "d-stream", Type: "config", Service: "kv.cache",
+		Servers: []string{"d-0"}, At: start.Add(changeMin * time.Minute),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	publishScenario(t, d.IngestAddr(), start, changeMin+200)
+
+	var streamRep *funnel.Report
+	select {
+	case streamRep = <-d.Reports():
+	case <-time.After(60 * time.Second):
+		t.Fatal("no report from the streaming daemon")
+	}
+	flagged := streamRep.Flagged()
+	if len(flagged) != 1 || flagged[0].Key.Entity != "d-0" {
+		t.Fatalf("flagged = %+v", flagged)
+	}
+	if col.Counter(obs.CtrStreamAdvances) == 0 {
+		t.Fatal("streaming daemon never advanced a score state")
+	}
+	if col.Counter(obs.CtrStreamCacheHits) == 0 {
+		t.Fatal("streaming report was not served from the score cache")
+	}
+
+	// The pull-mode daemon over the same measurements agrees verdict
+	// for verdict.
+	// A collector on both daemons keeps them in the same scorer regime
+	// (the instrumented per-window scorer); without one the pull daemon
+	// would take the sliding-sweep path, which agrees on verdicts but
+	// not bit-for-bit on scores.
+	store2 := monitor.NewStore(start, time.Minute)
+	d2, err := Start(Config{
+		Store:      store2,
+		Pipeline:   funnel.Config{ServerMetrics: []string{"mem.util"}, HistoryDays: 2},
+		IngestAddr: "127.0.0.1:0",
+		Obs:        obs.NewCollector(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.DeployService("kv.cache", "d-0", "d-1", "d-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Register(RegisterRequest{
+		ID: "d-stream", Type: "config", Service: "kv.cache",
+		Servers: []string{"d-0"}, At: start.Add(changeMin * time.Minute),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	publishScenario(t, d2.IngestAddr(), start, changeMin+200)
+	select {
+	case pullRep := <-d2.Reports():
+		if len(pullRep.Assessments) != len(streamRep.Assessments) {
+			t.Fatalf("assessment count: stream %d, pull %d",
+				len(streamRep.Assessments), len(pullRep.Assessments))
+		}
+		for i := range pullRep.Assessments {
+			s, p := streamRep.Assessments[i], pullRep.Assessments[i]
+			if s.Key != p.Key || s.Verdict != p.Verdict || s.Detection != p.Detection {
+				t.Fatalf("assessment %d: stream %+v, pull %+v", i, s, p)
+			}
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("no report from the pull daemon")
+	}
+}

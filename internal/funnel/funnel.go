@@ -324,8 +324,24 @@ type Assessor struct {
 	scorer sst.Scorer
 	det    *detect.Detector
 	obs    *obs.Collector
+	// scores, when non-nil, is consulted before the SST sweep with the
+	// exact raw segment about to be scored; a hit replaces the sweep
+	// with pre-computed scores. The streaming assessor (stream.go)
+	// installs its incremental score states here; the batch path leaves
+	// it nil and pays one nil check.
+	scores scoreCache
 	// fetchBufs recycles windowed-fetch buffers across Assess calls.
 	fetchBufs sync.Pool
+}
+
+// scoreCache supplies pre-computed SST score series for an assessment
+// window. cachedScores returns the scores for the window starting at
+// absolute store bin absLo of key — aligned with segment, NaN at
+// unscorable positions, and safe for the caller to mutate — or nil when
+// no bit-identical pre-scored window exists (the caller then runs the
+// batch sweep; correctness never depends on a hit).
+type scoreCache interface {
+	cachedScores(key topo.KPIKey, absLo int, segment []float64) []float64
 }
 
 // NewAssessor builds an assessor. It returns an error when the SST
@@ -634,7 +650,7 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 
 	// Step 2 of Fig. 3: KPI change detection over the assessment
 	// window around the change.
-	detection, found := a.detectAround(series, gaps, changeBin, kt)
+	detection, found := a.detectAround(series, gaps, changeBin, key, off, kt)
 	if a.cfg.SkipDetection {
 		found = true
 		if detection.Start == 0 && detection.End == 0 {
@@ -680,8 +696,10 @@ func (a *Assessor) assessKPI(change changelog.Change, set *topo.ImpactSet, key t
 // and returns the first detection whose run touches the post-change
 // half, with indices translated to absolute series positions. The
 // scoring pass and the persistence gating are timed as separate
-// stages.
-func (a *Assessor) detectAround(series *timeseries.Series, gaps []bool, changeBin int, kt *obs.KPITrace) (detect.Detection, bool) {
+// stages. key and off identify the window in the store's absolute
+// frame for the streaming score cache; a hit skips the sweep entirely
+// (the dominant cost of a verdict), a miss changes nothing.
+func (a *Assessor) detectAround(series *timeseries.Series, gaps []bool, changeBin int, key topo.KPIKey, off int, kt *obs.KPITrace) (detect.Detection, bool) {
 	w := a.cfg.WindowBins
 	lo := changeBin - w - a.cfg.SST.PastSpan()
 	if lo < 0 {
@@ -696,7 +714,17 @@ func (a *Assessor) detectAround(series *timeseries.Series, gaps []bool, changeBi
 	}
 	segment := series.Values[lo:hi]
 	ts := a.obs.Now()
-	scores := sst.ScoreSeries(a.scorer, segment)
+	var scores []float64
+	if a.scores != nil {
+		if scores = a.scores.cachedScores(key, lo+off, segment); scores != nil {
+			a.obs.Add(obs.CtrStreamCacheHits, 1)
+		} else {
+			a.obs.Add(obs.CtrStreamCacheMisses, 1)
+		}
+	}
+	if scores == nil {
+		scores = sst.ScoreSeries(a.scorer, segment)
+	}
 	if a.cfg.GapPolicy == GapMask && len(gaps) >= hi {
 		// Suppress scores whose SST window touches an interpolated bin:
 		// NaN scores terminate persistence runs, so no detection can be

@@ -268,7 +268,15 @@ func TestOnlineForceAssessesStaleProbe(t *testing.T) {
 	default:
 		t.Fatalf("no report emitted; pending = %d (stale probe wedged the change)", online.Pending())
 	}
-	if online.Pending() != 0 {
-		t.Fatalf("pending = %d after force-assess", online.Pending())
+	// The forced cooldown keeps the change pending (a backfilled probe
+	// would still deliver the real verdict) without re-emitting.
+	if online.Pending() != 1 {
+		t.Fatalf("pending = %d after force-assess, want 1", online.Pending())
+	}
+	online.Poll()
+	select {
+	case rep := <-online.Reports():
+		t.Fatalf("severed probe re-emitted on the next poll tick: %+v", rep.Assessments)
+	default:
 	}
 }

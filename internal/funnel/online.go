@@ -40,6 +40,12 @@ type pendingChange struct {
 	// probe is one treated KPI key whose series length signals data
 	// arrival.
 	probe topo.KPIKey
+	// forced records that the stale-probe escape hatch already emitted
+	// its one provisional report for this change. The change stays
+	// pending afterwards — a recovered (backfilled) probe feed still
+	// yields the real verdict — but a permanently-severed one never
+	// re-emits the same Inconclusive report on every poll tick.
+	forced bool
 }
 
 // NewOnline builds the online assessor: store is the local KPI copy the
@@ -145,24 +151,37 @@ func (o *Online) Close() {
 func (o *Online) assessReady() {
 	o.mu.Lock()
 	var ready []pendingChange
-	var still []pendingChange
-	stats := o.store.Stats()
+	still := o.pending[:0]
+	var stats monitor.Stats
+	statsLoaded := false
 	patience := o.assessor.cfg.StaleBins
 	for _, p := range o.pending {
-		s, ok := o.store.Series(p.probe)
-		switch {
-		case ok && s.Len() > p.readyBin:
+		// SeriesLen, not Series: the readiness probe runs on every poll
+		// tick and must not decode the probe's full retained history
+		// each time.
+		n, ok := o.store.SeriesLen(p.probe)
+		if ok && n > p.readyBin {
 			ready = append(ready, p)
-		case stats.LastBin >= p.readyBin+patience:
-			// The probe feed stalled but the rest of the store moved well
-			// past the ready bin: assess anyway. The per-KPI gap gate
-			// turns the stalled feeds into explicit Inconclusive verdicts
-			// instead of leaving the change pending forever (and instead
-			// of ever flagging a severed feed as a regression).
-			ready = append(ready, p)
-		default:
-			still = append(still, p)
+			continue
 		}
+		if !p.forced {
+			if !statsLoaded {
+				stats, statsLoaded = o.store.Stats(), true
+			}
+			if stats.LastBin >= p.readyBin+patience {
+				// The probe feed stalled but the rest of the store moved
+				// well past the ready bin: assess anyway, once. The
+				// per-KPI gap gate turns the stalled feeds into explicit
+				// Inconclusive verdicts instead of leaving the change
+				// invisible forever (and instead of ever flagging a
+				// severed feed as a regression). The change stays pending
+				// under the forced cooldown so a later backfill still
+				// produces the real verdict.
+				p.forced = true
+				ready = append(ready, p)
+			}
+		}
+		still = append(still, p)
 	}
 	o.pending = still
 	closed := o.closed

@@ -83,6 +83,16 @@ func (g *SlidingHankelGram) Init(x []float64, end, omega, delta int) {
 // End returns the current window end (the Hankel geometry's end).
 func (g *SlidingHankelGram) End() int { return g.end }
 
+// SetSeries re-points the operator at x without touching the maintained
+// products. x must agree bit-for-bit with the previously installed
+// series on every bin at or before the current end — the intended use
+// is a resumable sweep over a growing series, where each call sees a
+// longer prefix of the same data (possibly in a reallocated buffer).
+// Rebuilds and slides after the call read the same values they would
+// have read from an ungrown series, so the maintained state stays
+// exact.
+func (g *SlidingHankelGram) SetSeries(x []float64) { g.x = x }
+
 // Recenter moves the maintained sample offset to c and rebuilds. Callers
 // tracking a drifting level (e.g. a per-position normalization median)
 // call it periodically so the centered products stay at the spread's

@@ -1,0 +1,244 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topo"
+)
+
+// BinFeed is the coalescing change feed the streaming assessor drains:
+// every append that lands a bin for a key passing the feed's filter
+// marks that key dirty, and a non-blocking wakeup token tells the
+// consumer there is work. Consecutive appends to the same key coalesce
+// into one dirty entry, and the filter's verdict is cached as one
+// boolean on the series entry itself, so the feed's cost on the ingest
+// hot path is a single flag test for untracked keys (the fleet-wide
+// common case) and a map insert (usually a no-op lookup) for tracked
+// ones — never a per-append filter evaluation. The consumer re-reads
+// the store for the actual bins, which also makes the feed robust to
+// late writes and re-encodes: whatever mutated, the key shows up dirty
+// and the consumer re-verifies against the store.
+//
+// Admission control: the dirty set is bounded by maxKeys. When the
+// fleet outruns the consumer and the set is full, new keys are shed —
+// counted, and the overflow flag is raised so the next Drain tells the
+// consumer to treat *all* its tracked keys as dirty (a full resync)
+// instead of trusting the truncated set. Nothing is lost; the store
+// remains the source of truth.
+//
+// Epoch: Prune rebases the store's bin origin, which shifts every
+// absolute bin index a consumer may have cached. Each rebase bumps the
+// feed epoch; a consumer seeing the epoch move discards cached
+// geometry.
+type BinFeed struct {
+	store   *Store
+	filter  func(topo.KPIKey) bool
+	maxKeys int
+
+	mu       sync.Mutex
+	dirty    map[topo.KPIKey]struct{}
+	overflow bool
+	epoch    uint64
+	closed   bool
+
+	shed atomic.Int64
+
+	notify chan struct{}
+}
+
+// defaultFeedKeys bounds the dirty set when the caller passes 0.
+const defaultFeedKeys = 1 << 14
+
+// NewBinFeed registers a coalescing append feed on the store. filter
+// restricts which keys are tracked (nil tracks everything); maxKeys
+// bounds the dirty set (0 = a 16k-key default). A filter whose answer
+// for an existing key changes later must be followed by Refilter.
+// Close the feed when done — an abandoned feed keeps marking forever.
+func (s *Store) NewBinFeed(filter func(topo.KPIKey) bool, maxKeys int) *BinFeed {
+	if maxKeys <= 0 {
+		maxKeys = defaultFeedKeys
+	}
+	f := &BinFeed{
+		store:   s,
+		filter:  filter,
+		maxKeys: maxKeys,
+		dirty:   make(map[topo.KPIKey]struct{}),
+		notify:  make(chan struct{}, 1),
+	}
+	s.feedMu.Lock()
+	old := s.feeds.Load()
+	var next []*BinFeed
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, f)
+	s.feeds.Store(&next)
+	s.feedMu.Unlock()
+	s.refreshFeedFlags()
+	return f
+}
+
+// Refilter recomputes every stored series' cached tracked flag. Call
+// it after the answer set of this feed's filter function changes (the
+// streaming assessor does on every change registration and
+// retirement); appends landing between the filter change and the
+// Refilter keep the previous flag, which consumers already tolerate —
+// a stale true is dropped by the filter inside mark, and a stale false
+// is covered by the catch-up pass consumers run after (re)registering
+// interest in a key.
+func (f *BinFeed) Refilter() { f.store.refreshFeedFlags() }
+
+// C returns the wakeup channel: one token is pending whenever the feed
+// has undrained state. Drain after receiving.
+func (f *BinFeed) C() <-chan struct{} { return f.notify }
+
+// Drain moves the dirty set into keys (appending to it; pass a reused
+// buf[:0] to avoid allocation) and resets it. epoch is the feed's
+// current epoch (bumped by every store prune); overflow reports that
+// the set hit capacity since the last drain, in which case keys is
+// incomplete and the consumer must treat every key it tracks as dirty.
+func (f *BinFeed) Drain(keys []topo.KPIKey) (out []topo.KPIKey, epoch uint64, overflow bool) {
+	f.mu.Lock()
+	for k := range f.dirty {
+		keys = append(keys, k)
+		delete(f.dirty, k)
+	}
+	overflow = f.overflow
+	f.overflow = false
+	epoch = f.epoch
+	f.mu.Unlock()
+	return keys, epoch, overflow
+}
+
+// Shed returns how many dirty-key marks were dropped because the set
+// was at capacity (each one also raised the overflow flag).
+func (f *BinFeed) Shed() int64 { return f.shed.Load() }
+
+// Close unregisters the feed from the store. The wakeup channel is not
+// closed (a concurrent mark may be sending); consumers exit via their
+// own quit signal.
+func (f *BinFeed) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	s := f.store
+	s.feedMu.Lock()
+	if old := s.feeds.Load(); old != nil {
+		next := make([]*BinFeed, 0, len(*old))
+		for _, g := range *old {
+			if g != f {
+				next = append(next, g)
+			}
+		}
+		if len(next) == 0 {
+			s.feeds.Store(nil)
+		} else {
+			s.feeds.Store(&next)
+		}
+	}
+	s.feedMu.Unlock()
+	s.refreshFeedFlags()
+}
+
+// mark records key as dirty and wakes the consumer. Called from the
+// append path with the owning shard's lock held — the critical section
+// is one map op (lock order: shard.mu → feed.mu; the feed list itself
+// is read lock-free from an atomic snapshot).
+func (f *BinFeed) mark(key topo.KPIKey) {
+	if f.filter != nil && !f.filter(key) {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	if _, ok := f.dirty[key]; !ok {
+		if len(f.dirty) >= f.maxKeys {
+			f.overflow = true
+			f.mu.Unlock()
+			f.shed.Add(1)
+			f.wake()
+			return
+		}
+		f.dirty[key] = struct{}{}
+	}
+	f.mu.Unlock()
+	f.wake()
+}
+
+// bumpEpoch advances the feed epoch (store geometry changed) and wakes
+// the consumer.
+func (f *BinFeed) bumpEpoch() {
+	f.mu.Lock()
+	f.epoch++
+	f.mu.Unlock()
+	f.wake()
+}
+
+// wake deposits the non-blocking notification token.
+func (f *BinFeed) wake() {
+	select {
+	case f.notify <- struct{}{}:
+	default:
+	}
+}
+
+// notifyFeeds marks key dirty on every registered feed. The append path
+// calls it only for series whose cached tracked flag is set; each
+// feed's own filter still runs inside mark, so a flag gone stale
+// (Refilter pending) marks nothing it should not.
+func (s *Store) notifyFeeds(key topo.KPIKey) {
+	fs := s.feeds.Load()
+	if fs == nil {
+		return
+	}
+	for _, f := range *fs {
+		f.mark(key)
+	}
+}
+
+// feedWants reports whether any registered feed's filter accepts key —
+// the value the series' cached tracked flag takes at creation and on
+// every refresh.
+func (s *Store) feedWants(key topo.KPIKey) bool {
+	fs := s.feeds.Load()
+	if fs == nil {
+		return false
+	}
+	for _, f := range *fs {
+		if f.filter == nil || f.filter(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshFeedFlags recomputes the cached tracked flag of every stored
+// series against the current feed set. O(series) with each shard
+// locked in turn — feed registration and change registration are rare
+// next to appends, which is the whole point of the cache.
+func (s *Store) refreshFeedFlags() {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.series {
+			e.feedTracked = s.feedWants(key)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// bumpFeedEpochs advances every feed's epoch after a store rebase.
+func (s *Store) bumpFeedEpochs() {
+	fs := s.feeds.Load()
+	if fs == nil {
+		return
+	}
+	for _, f := range *fs {
+		f.bumpEpoch()
+	}
+}

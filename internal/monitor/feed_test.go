@@ -1,0 +1,152 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// drainAll empties the feed's wakeup token and returns the drained set.
+func drainAll(f *BinFeed) ([]topo.KPIKey, uint64, bool) {
+	select {
+	case <-f.C():
+	default:
+	}
+	return f.Drain(nil)
+}
+
+func TestBinFeedCoalescesAppends(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	f := s.NewBinFeed(nil, 0)
+	defer f.Close()
+
+	for i := 0; i < 10; i++ {
+		s.Append(Measurement{kCPU, t0.Add(time.Duration(i) * time.Minute), float64(i)})
+	}
+	s.Append(Measurement{kPV, t0, 1})
+
+	select {
+	case <-f.C():
+	default:
+		t.Fatal("no wakeup token after appends")
+	}
+	keys, _, overflow := f.Drain(nil)
+	if overflow {
+		t.Fatal("unexpected overflow")
+	}
+	if len(keys) != 2 {
+		t.Fatalf("drained %d keys, want 2 (coalesced): %v", len(keys), keys)
+	}
+	// Drained state does not reappear without new appends.
+	if keys, _, _ := f.Drain(nil); len(keys) != 0 {
+		t.Fatalf("second drain returned %v", keys)
+	}
+}
+
+func TestBinFeedFilterAndShed(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	f := s.NewBinFeed(func(k topo.KPIKey) bool { return k.Metric == "cpu.ctxswitch" }, 1)
+	defer f.Close()
+
+	s.Append(Measurement{kPV, t0, 1}) // filtered out
+	if keys, _, _ := drainAll(f); len(keys) != 0 {
+		t.Fatalf("filtered key leaked: %v", keys)
+	}
+
+	k2 := topo.KPIKey{Scope: topo.ScopeServer, Entity: "srv-2", Metric: "cpu.ctxswitch"}
+	s.Append(Measurement{kCPU, t0, 1})
+	s.Append(Measurement{k2, t0, 2}) // over the 1-key cap: shed
+	keys, _, overflow := drainAll(f)
+	if !overflow {
+		t.Fatal("overflow flag not raised on a full dirty set")
+	}
+	if len(keys) != 1 {
+		t.Fatalf("drained %d keys, want the 1 that fit", len(keys))
+	}
+	if f.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", f.Shed())
+	}
+	// The flag resets after the drain reported it.
+	s.Append(Measurement{kCPU, t0.Add(time.Minute), 3})
+	if _, _, overflow := drainAll(f); overflow {
+		t.Fatal("overflow flag stuck")
+	}
+}
+
+func TestBinFeedEpochBumpOnPrune(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	f := s.NewBinFeed(nil, 0)
+	defer f.Close()
+	s.Append(Measurement{kCPU, t0, 1})
+	s.Append(Measurement{kCPU, t0.Add(10 * time.Minute), 2})
+	_, epoch0, _ := drainAll(f)
+
+	s.Prune(t0.Add(5 * time.Minute))
+	select {
+	case <-f.C():
+	default:
+		t.Fatal("no wakeup after prune")
+	}
+	_, epoch1, _ := f.Drain(nil)
+	if epoch1 == epoch0 {
+		t.Fatalf("epoch did not advance across prune: %d", epoch1)
+	}
+}
+
+func TestBinFeedCloseUnregisters(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	f := s.NewBinFeed(nil, 0)
+	f.Close()
+	s.Append(Measurement{kCPU, t0, 1})
+	if keys, _, _ := f.Drain(nil); len(keys) != 0 {
+		t.Fatalf("closed feed still marked: %v", keys)
+	}
+	if s.feeds.Load() != nil {
+		t.Fatal("feed list snapshot not cleared after close")
+	}
+}
+
+func TestSeriesLen(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	if n, ok := s.SeriesLen(kCPU); ok || n != 0 {
+		t.Fatalf("missing key: n=%d ok=%v", n, ok)
+	}
+	s.Append(Measurement{kCPU, t0.Add(7 * time.Minute), 1})
+	if n, ok := s.SeriesLen(kCPU); !ok || n != 8 {
+		t.Fatalf("n=%d ok=%v, want 8 true", n, ok)
+	}
+}
+
+// Satellite regression: a snapshot-restored series must carry an
+// arrival watermark (the restore time) so the first post-restart
+// assessment reports a real, bounded bin-to-verdict latency instead of
+// none at all.
+func TestSnapshotRestoreRestampsWatermark(t *testing.T) {
+	s := NewStore(t0, time.Minute)
+	s.Append(Measurement{kCPU, t0, 1.5})
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := time.Now()
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := time.Now()
+	wm, ok := got.ArrivalWatermark(kCPU)
+	if !ok {
+		t.Fatal("restored series has no arrival watermark")
+	}
+	if wm.Before(before) || wm.After(after) {
+		t.Fatalf("restamped watermark %v outside restore interval [%v, %v]", wm, before, after)
+	}
+	// A live append moves the watermark forward as before.
+	got.Append(Measurement{kCPU, t0.Add(time.Minute), 2})
+	wm2, _ := got.ArrivalWatermark(kCPU)
+	if wm2.Before(wm) {
+		t.Fatalf("live append moved watermark backwards: %v < %v", wm2, wm)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package monitor
+
+import (
+	"net"
+	"time"
+)
+
+// peekClosed reports whether conn's peer has closed the link. Without
+// raw-socket MSG_PEEK the portable approximation is a read with a
+// short positive deadline — it must lie in the future, because an
+// already-expired deadline fails the read before the poller looks at
+// the socket and the queued FIN stays invisible. The sub-millisecond
+// stall only happens on this fallback path.
+func peekClosed(conn net.Conn) error {
+	if conn.SetReadDeadline(time.Now().Add(200*time.Microsecond)) != nil {
+		return nil // not a deadline-capable conn; rely on write errors
+	}
+	defer conn.SetReadDeadline(time.Time{})
+	var b [1]byte
+	_, err := conn.Read(b[:])
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return nil // healthy: nothing to read yet
+	}
+	return err
+}

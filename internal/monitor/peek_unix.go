@@ -1,0 +1,46 @@
+//go:build unix
+
+package monitor
+
+import (
+	"io"
+	"net"
+	"os"
+	"syscall"
+)
+
+// peekClosed reports whether conn's peer has closed the link, without
+// consuming data, writing, or blocking: a non-blocking MSG_PEEK on the
+// raw descriptor sees a queued FIN as a zero-byte read and a reset as
+// an immediate errno, while a healthy idle link returns EAGAIN. It
+// returns nil when the link is healthy (or unprobeable) and the
+// detecting error otherwise.
+func peekClosed(conn net.Conn) error {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil // not a raw socket; rely on write errors
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	var detected error
+	var b [1]byte
+	rerr := raw.Read(func(fd uintptr) bool {
+		n, _, errno := syscall.Recvfrom(int(fd), b[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case n == 0 && errno == nil:
+			detected = io.EOF // orderly shutdown: the peer sent FIN
+		case errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK:
+			// Healthy: nothing queued. (Stray readable bytes also land
+			// here as n > 0 — the peek leaves them in place.)
+		case errno != nil:
+			detected = os.NewSyscallError("recvfrom", errno)
+		}
+		return true // never wait for readability
+	})
+	if rerr != nil {
+		return nil // descriptor unusable for control ops; write path decides
+	}
+	return detected
+}

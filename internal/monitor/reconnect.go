@@ -384,23 +384,18 @@ func (p *RobustPublisher) Flush() error {
 	return nil
 }
 
-// probe detects a peer-closed connection without writing: the ingest
-// protocol is strictly client→server, so a read can only ever return
-// "no data yet" (the deadline firing, link healthy) or an EOF/reset
-// (the peer is gone). An empty bufio flush makes no syscall, so without
+// probe detects a peer-closed connection without writing or blocking:
+// the ingest protocol is strictly client→server, so the receive queue
+// can only ever hold "nothing yet" (link healthy) or a FIN/reset (the
+// peer is gone). An empty bufio flush makes no syscall, so without
 // this a torn link whose publisher has nothing more to say would never
-// surface.
+// surface — it would keep believing in a connection the far end
+// already closed. A deadline-read cannot do this job: an
+// already-expired read deadline fails the read before the poller ever
+// looks at the socket, so the queued FIN stays invisible; peekClosed
+// peeks the socket directly instead.
 func (p *RobustPublisher) probe() {
-	if p.conn.SetReadDeadline(time.Now()) != nil {
-		return // not a deadline-capable conn; rely on write errors
-	}
-	var b [1]byte
-	_, err := p.conn.Read(b[:])
-	if ne, ok := err.(net.Error); ok && ne.Timeout() {
-		p.conn.SetReadDeadline(time.Time{})
-		return // healthy: nothing to read yet
-	}
-	if err != nil {
+	if err := peekClosed(p.conn); err != nil {
 		p.disconnect(err)
 	}
 }
@@ -450,4 +445,3 @@ func (p *RobustPublisher) Close() error {
 	}
 	return closeErr
 }
-

@@ -256,6 +256,70 @@ func TestRobustPublisherResendsThroughFlap(t *testing.T) {
 	}
 }
 
+// TestRobustPublisherQuietLinkProbe pins the probe contract that the
+// streaming lockstep path depends on: a publisher whose last frame was
+// swallowed by a dying link, and which has nothing further to say, must
+// still notice the peer close from Flush alone — no new publishes, no
+// write errors to lean on — and replay its ring. The probe must
+// actually look at the socket: an already-expired read deadline fails
+// the read before the poller sees the queued FIN, which left exactly
+// this shape wedged forever ("connected", no error, one bin missing).
+func TestRobustPublisherQuietLinkProbe(t *testing.T) {
+	store := NewStore(t0, time.Minute)
+	ingest := NewIngestServer(store)
+	addr, err := ingest.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingest.Close()
+	proxy, err := faultnet.NewProxy("127.0.0.1:0", addr.String(), faultnet.Plan{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	pub, err := DialRobustPublisher(proxy.Addr().String(), PublisherConfig{Backoff: fastBackoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish(Measurement{kPV, t0.Add(time.Duration(i) * time.Minute), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		pub.Flush()
+	}
+	waitFor(t, "first 5 bins ingested", func() bool {
+		s, ok := store.Series(kPV)
+		return ok && s.Len() >= 5
+	})
+
+	// The link dies quietly; the FIN reaches the publisher's socket
+	// before it writes again, so the single in-flight frame below is
+	// accepted by the local kernel and lost on the floor.
+	if n := proxy.Sever(); n == 0 {
+		t.Fatal("no link severed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := pub.Publish(Measurement{kPV, t0.Add(5 * time.Minute), 5}); err != nil {
+		t.Fatal(err)
+	}
+	pub.Flush()
+
+	// From here on the publisher is quiet: only Flush runs, exactly like
+	// a lockstep driver waiting for its one outstanding bin. The probe
+	// alone must surface the dead link and drive the replay home.
+	waitFor(t, "lost bin replayed via quiet-link probe", func() bool {
+		pub.Flush()
+		s, ok := store.Series(kPV)
+		return ok && s.Len() >= 6 && !s.HasGaps()
+	})
+	if pub.Reconnects() == 0 {
+		t.Error("publisher reports zero reconnects after a quiet peer close")
+	}
+}
+
 func TestRobustPublisherRingOverflowIsObservable(t *testing.T) {
 	// Dead endpoint from the start: dial a listener we immediately
 	// close, so every measurement queues in a tiny ring.

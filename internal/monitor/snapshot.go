@@ -245,6 +245,15 @@ func readSnapshotShards(r io.Reader, shards, span int, quarantined *int) (*Store
 
 	store := NewStoreShards(start, step, shards)
 	store.span = span
+	// One clock read stamps every restored series' arrival watermark with
+	// the restore time. The data's true arrival time died with the
+	// previous process; leaving the watermark empty instead made the
+	// first post-restart assessment of an untouched series report an
+	// absent bin-to-verdict latency (and a bogus one if the key's first
+	// live append landed mid-assessment). Restamping bounds the first
+	// reported latency by time-since-restore, which is the honest reading
+	// of "how stale is the evidence this verdict used".
+	restoredAt := time.Now().UnixNano()
 	for i := uint32(0); i < count; i++ {
 		var b [1]byte
 		if _, err := io.ReadFull(br, b[:]); err != nil {
@@ -272,9 +281,7 @@ func readSnapshotShards(r io.Reader, shards, span int, quarantined *int) (*Store
 			return nil, err
 		}
 		key := topo.KPIKey{Scope: scope, Entity: entity, Metric: metric}
-		// No arrival watermark: the snapshot's data arrived in a previous
-		// process, so bin-to-verdict latency starts fresh on the first
-		// live append.
+		e.arrivalNanos = restoredAt
 		store.shardFor(key).series[key] = e
 	}
 	return store, nil

@@ -78,6 +78,14 @@ type Store struct {
 	// subscriber scan (and its lock round trip) when nobody listens.
 	numSubs atomic.Int32
 
+	// feedMu orders mutations of the registered coalescing bin feeds
+	// (see feed.go); feeds holds an immutable snapshot the append hot
+	// path reads with one atomic load (nil when nobody streams), so an
+	// idle feed list costs the ingest path nothing and a live one costs
+	// no lock round trip.
+	feedMu sync.Mutex
+	feeds  atomic.Pointer[[]*BinFeed]
+
 	obs atomic.Pointer[obs.Collector]
 
 	// quarantined counts sealed chunks replaced by NaN tombstones
@@ -128,14 +136,21 @@ type storeShard struct {
 // freshly built slice. Appending a newly sealed chunk in place is safe
 // because readers captured the older, shorter slice header.
 //
-// arrivalNanos is zero until the first live append (snapshot-restored
-// series carry no watermark — their data's true arrival time died with
-// the previous process).
+// arrivalNanos is zero until the first live append; snapshot restore
+// stamps it with the restore time (the data's true arrival time died
+// with the previous process, and time-since-restore is the honest
+// lower bound on evidence staleness).
 type seriesEntry struct {
 	chunks       []*chunk.Chunk
 	head         int
 	tail         []float64
 	arrivalNanos int64
+	// feedTracked caches whether any registered BinFeed wants marks for
+	// this key (guarded by the owning shard's mutex, like the rest of
+	// the entry). The append hot path tests this one boolean instead of
+	// hashing the three-string key against every feed's filter;
+	// feed registration, closure, and Refilter recompute it.
+	feedTracked bool
 }
 
 // sealedLen returns the logical length of the sealed (compressed)
@@ -356,12 +371,16 @@ func (s *Store) applyLocked(sh *storeShard, start time.Time, m Measurement, arri
 	e := sh.series[m.Key]
 	if e == nil {
 		e = new(seriesEntry)
+		e.feedTracked = s.feedWants(m.Key)
 		sh.series[m.Key] = e
 	}
 	s.setBinLocked(e, idx, m.V)
 	e.arrivalNanos = arrivalNanos
 	if sh.wal != nil {
 		sh.wal.appendLocked(m)
+	}
+	if e.feedTracked {
+		s.notifyFeeds(m.Key)
 	}
 	if s.numSubs.Load() == 0 {
 		return 0, 0, true // fast path: nobody listening, skip the scan
@@ -712,9 +731,10 @@ func (s *Store) DegradedReads() int64 { return s.degradedReads.Load() }
 
 // ArrivalWatermark returns the node-local time the key's most recent
 // measurement was ingested, and whether the key holds one. Series
-// restored from a snapshot report no watermark until their first live
-// append. The assessment pipeline subtracts this from verdict emission
-// time to get the end-to-end bin-to-verdict latency.
+// restored from a snapshot carry the restore time until their first
+// live append re-stamps them. The assessment pipeline subtracts this
+// from verdict emission time to get the end-to-end bin-to-verdict
+// latency.
 func (s *Store) ArrivalWatermark(key topo.KPIKey) (time.Time, bool) {
 	s.epochMu.RLock()
 	sh := s.shardFor(key)
@@ -729,6 +749,23 @@ func (s *Store) ArrivalWatermark(key topo.KPIKey) (time.Time, bool) {
 		return time.Time{}, false
 	}
 	return time.Unix(0, ns), true
+}
+
+// SeriesLen returns the key's logical bin count (index of the last
+// stored bin plus one) and whether the key exists, without decoding or
+// copying anything — the online assessor's per-tick readiness probe.
+func (s *Store) SeriesLen(key topo.KPIKey) (int, bool) {
+	s.epochMu.RLock()
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.series[key]
+	n := 0
+	if ok {
+		n = e.binLen(s.span)
+	}
+	sh.mu.RUnlock()
+	s.epochMu.RUnlock()
+	return n, ok
 }
 
 // Range returns a copy of the key's bins covering [from, to), clamped
@@ -833,6 +870,9 @@ func (s *Store) Prune(before time.Time) {
 	s.start = s.start.Add(time.Duration(drop) * s.step)
 	p := s.persist
 	s.epochMu.Unlock()
+	// Every absolute bin index a streaming consumer cached just shifted
+	// by drop; the epoch bump tells it to resync.
+	s.bumpFeedEpochs()
 	if p != nil {
 		p.requestCompact()
 	}

@@ -143,6 +143,31 @@ const (
 	// emitted at the first error of an episode rather than when
 	// someone later calls Sync or Compact.
 	CtrPersistErrors = "monitor.store_persist_errors"
+	// CtrStreamAdvances counts per-KPI incremental score advances the
+	// streaming assessor performed (each covers one or more newly
+	// arrived bins).
+	CtrStreamAdvances = "stream.advances"
+	// CtrStreamCacheHits counts assessments that consumed a fully
+	// pre-scored streaming window (the fast path: no batch sweep at
+	// verdict time).
+	CtrStreamCacheHits = "stream.cache_hits"
+	// CtrStreamCacheMisses counts assessments that fell back to the
+	// batch sweep (window incomplete, diverged, or never tracked).
+	CtrStreamCacheMisses = "stream.cache_misses"
+	// CtrStreamInvalidations counts streaming score states discarded
+	// because their raw window diverged from the store (late write into
+	// scored territory, prune rebase, quarantined re-read).
+	CtrStreamInvalidations = "stream.invalidations"
+	// GaugeStreamQueue is the streaming assessor's advance-queue depth;
+	// GaugeStreamTracked the number of KPI score states it maintains;
+	// GaugeStreamPending the changes still awaiting their ready bin.
+	GaugeStreamQueue   = "stream.queue_depth"
+	GaugeStreamTracked = "stream.tracked_keys"
+	GaugeStreamPending = "stream.pending_changes"
+	// CtrStreamSheds counts advance tasks dropped because the streaming
+	// work queue was full (the fleet outran the scoring workers; the
+	// state catches up at the next drain or at assess time).
+	CtrStreamSheds = "stream.sheds"
 )
 
 // Collector aggregates counters, stage histograms and recent traces.

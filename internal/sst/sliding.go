@@ -117,77 +117,95 @@ func (s *SlidingScorer) ScoreRangeInto(out, x []float64, lo, hi int) {
 
 // scoreRange runs the incremental IKA sweep with all state drawn from st.
 func (s *SlidingScorer) scoreRange(st *slidingState, out, x []float64, lo, hi int) {
+	s.stepReset(st)
+	for t := lo; t < hi; t++ {
+		out[t] = s.step(st, x, t, lo)
+	}
+}
+
+// stepReset prepares st for a fresh sweep whose first step position will
+// pass t == lo. It is the (batch and streaming) sweep prologue; step
+// performs one position.
+func (s *SlidingScorer) stepReset(st *slidingState) {
+	n := s.ika.cfg.Omega
+	st.ws.start = grow(st.ws.start, n)
+	st.warm = grow(st.warm, n)
+	st.warmOK = false
+}
+
+// step scores position t of x, advancing the incremental Gram trackers
+// and the warm-start carry in st. lo is the sweep's first position: at
+// t == lo the trackers initialize, at every later t they slide by one —
+// so a caller feeding consecutive positions t = lo, lo+1, ... replays
+// exactly the operation sequence of one scoreRange(st, out, x, lo, hi)
+// call, bit for bit. This shared body is what keeps the resumable
+// StreamSweep byte-identical to the batch sweep.
+func (s *SlidingScorer) step(st *slidingState, x []float64, t, lo int) float64 {
 	cfg := s.ika.cfg
 	n := cfg.Omega
 	ws := &st.ws
-	ws.start = grow(ws.start, n)
-	st.warm = grow(st.warm, n)
-	st.warmOK = false
-
-	for t := lo; t < hi; t++ {
-		if t == lo {
-			cadence := 0 // linalg default: periodic drift-washing rebuilds
-			if cfg.Normalize {
-				cadence = -1 // recentring below is the only rebuild
-			}
-			st.pastG.RefreshEvery, st.futG.RefreshEvery = cadence, cadence
-			st.pastG.Init(x, t, n, cfg.Delta)
-			st.futG.Init(x, t+cfg.Rho+cfg.Gamma+n-1, n, cfg.Gamma)
-			st.untilRecen = 0
-		} else {
-			st.pastG.Slide()
-			st.futG.Slide()
-		}
-
-		wlo := t - cfg.PastSpan()
-		whi := t + cfg.FutureSpan()
-		med, inv := 0.0, 1.0
+	if t == lo {
+		cadence := 0 // linalg default: periodic drift-washing rebuilds
 		if cfg.Normalize {
-			past := x[wlo:t]
-			ws.scratch = grow(ws.scratch, whi-wlo)
-			m, mad := stats.MedianMADInto(past, ws.scratch)
-			med, inv = m, 1/normScale(past, m, mad)
-			if st.untilRecen <= 0 {
-				// Keep the maintained products centered at the current
-				// level so the affine normalization identity stays at
-				// full precision even on large-offset KPIs.
-				st.pastG.Recenter(med)
-				st.futG.Recenter(med)
-				st.untilRecen = recenterEvery
-			}
-			st.untilRecen--
+			cadence = -1 // recentring below is the only rebuild
 		}
-		st.pastG.GramInto(&st.gp, med, inv)
-		st.futG.GramInto(&st.gf, med, inv)
-
-		k := cfg.K
-		if s.WarmStart && st.warmOK {
-			copy(ws.start, st.warm)
-			k = cfg.Eta + 1
-		} else {
-			st.futG.RowSumsInto(ws.start, med, inv)
-		}
-
-		score, eta := s.ika.scoreWindow(ws, &st.gp, &st.gf, k)
-		if s.WarmStart {
-			if eta > 0 {
-				copy(st.warm, ws.betas[:n])
-				st.warmOK = true
-			} else {
-				st.warmOK = false
-			}
-		}
-		if cfg.RobustFilter {
-			w := x[wlo:whi]
-			if cfg.Normalize {
-				st.win = grow(st.win, whi-wlo)
-				for i, v := range w {
-					st.win[i] = (v - med) * inv
-				}
-				w = st.win[:whi-wlo]
-			}
-			score *= robustMultiplierWS(ws, w, t-wlo, n)
-		}
-		out[t] = score
+		st.pastG.RefreshEvery, st.futG.RefreshEvery = cadence, cadence
+		st.pastG.Init(x, t, n, cfg.Delta)
+		st.futG.Init(x, t+cfg.Rho+cfg.Gamma+n-1, n, cfg.Gamma)
+		st.untilRecen = 0
+	} else {
+		st.pastG.Slide()
+		st.futG.Slide()
 	}
+
+	wlo := t - cfg.PastSpan()
+	whi := t + cfg.FutureSpan()
+	med, inv := 0.0, 1.0
+	if cfg.Normalize {
+		past := x[wlo:t]
+		ws.scratch = grow(ws.scratch, whi-wlo)
+		m, mad := stats.MedianMADInto(past, ws.scratch)
+		med, inv = m, 1/normScale(past, m, mad)
+		if st.untilRecen <= 0 {
+			// Keep the maintained products centered at the current
+			// level so the affine normalization identity stays at
+			// full precision even on large-offset KPIs.
+			st.pastG.Recenter(med)
+			st.futG.Recenter(med)
+			st.untilRecen = recenterEvery
+		}
+		st.untilRecen--
+	}
+	st.pastG.GramInto(&st.gp, med, inv)
+	st.futG.GramInto(&st.gf, med, inv)
+
+	k := cfg.K
+	if s.WarmStart && st.warmOK {
+		copy(ws.start, st.warm)
+		k = cfg.Eta + 1
+	} else {
+		st.futG.RowSumsInto(ws.start, med, inv)
+	}
+
+	score, eta := s.ika.scoreWindow(ws, &st.gp, &st.gf, k)
+	if s.WarmStart {
+		if eta > 0 {
+			copy(st.warm, ws.betas[:n])
+			st.warmOK = true
+		} else {
+			st.warmOK = false
+		}
+	}
+	if cfg.RobustFilter {
+		w := x[wlo:whi]
+		if cfg.Normalize {
+			st.win = grow(st.win, whi-wlo)
+			for i, v := range w {
+				st.win[i] = (v - med) * inv
+			}
+			w = st.win[:whi-wlo]
+		}
+		score *= robustMultiplierWS(ws, w, t-wlo, n)
+	}
+	return score
 }
