@@ -13,6 +13,13 @@
 // Method receivers, unexported declarations and generated files are
 // skipped; a doc comment on the factored declaration group
 // (`const (...)`, `var (...)`) covers its members.
+//
+// One structural rule rides along: a package that declares an exported
+// detector implementation — a type with ScoreAt, Config and Name
+// methods, the detect.Detector contract — must carry a package-level
+// doc comment. Detectors are the repo's plugin surface; their packages
+// are where godoc readers land first, and an undocumented one would
+// ship a bake-off row nobody can interpret.
 package main
 
 import (
@@ -105,8 +112,70 @@ func lintDir(dir string) (int, error) {
 		for path, file := range pkg.Files {
 			bad += lintFile(fset, filepath.ToSlash(path), file)
 		}
+		bad += lintDetectorDocs(fset, pkg)
 	}
 	return bad, nil
+}
+
+// detectorMethods is the detect.Detector contract: a type exposing all
+// three is a detector implementation, whether or not its package
+// imports the detect package.
+var detectorMethods = []string{"ScoreAt", "Config", "Name"}
+
+// lintDetectorDocs enforces the detector-package rule: every package
+// declaring an exported type with the full ScoreAt/Config/Name method
+// set must have a package-level doc comment.
+func lintDetectorDocs(fset *token.FileSet, pkg *ast.Package) int {
+	hasPkgDoc := false
+	declared := map[string]token.Pos{} // exported types declared here
+	methods := map[string]map[string]bool{}
+	for _, file := range pkg.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				recv := receiverName(d.Recv)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				if methods[recv] == nil {
+					methods[recv] = map[string]bool{}
+				}
+				methods[recv][d.Name.Name] = true
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					if s, ok := spec.(*ast.TypeSpec); ok && ast.IsExported(s.Name.Name) {
+						declared[s.Name.Name] = s.Pos()
+					}
+				}
+			}
+		}
+	}
+	if hasPkgDoc {
+		return 0
+	}
+	bad := 0
+	for name, pos := range declared {
+		complete := true
+		for _, m := range detectorMethods {
+			if !methods[name][m] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			p := fset.Position(pos)
+			fmt.Printf("%s:%d: package %s declares detector implementation %s but has no package doc comment\n",
+				filepath.ToSlash(p.Filename), p.Line, pkg.Name, name)
+			bad++
+		}
+	}
+	return bad
 }
 
 // receiverName extracts the receiver's base type name from a method's

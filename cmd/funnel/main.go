@@ -5,6 +5,7 @@
 //
 //	funnel -changes 8 -history 3 -seed 42 [-v] [-json] [-workers 8]
 //	funnel -trace scenario.json [-v] [-json]      # assess an exported trace
+//	funnel -detector edivisive -causality bsts    # swap pipeline stages
 package main
 
 import (
@@ -19,6 +20,10 @@ import (
 	"repro/internal/workload"
 )
 
+// detectorName and causalityName carry the -detector / -causality flag
+// values to both assessor construction sites.
+var detectorName, causalityName string
+
 func main() {
 	var (
 		changes   = flag.Int("changes", 8, "number of software changes to simulate and assess")
@@ -31,8 +36,11 @@ func main() {
 		summarize = flag.Bool("summary", false, "print a one-line-per-change summary instead of full reports")
 		traceFile = flag.String("trace", "", "assess a workload.Trace JSON file instead of generating a scenario")
 		timings   = flag.Bool("timings", false, "instrument the pipeline and dump stage metrics to stderr after the run")
+		detector  = flag.String("detector", "", "change detector to run (see funnel.Detectors; \"\" = the deployed SST scorer)")
+		causality = flag.String("causality", "", "causality stage: \"did\" (classical, default) or \"bsts\" (Bayesian structural time series)")
 	)
 	flag.Parse()
+	detectorName, causalityName = *detector, *causality
 
 	var col *obs.Collector
 	if *timings {
@@ -75,6 +83,8 @@ func runTrace(path string, history int, verbose, asJSON bool, workers int, summa
 		ServerMetrics:   traceMetrics(tr, "server"),
 		InstanceMetrics: traceMetrics(tr, "instance"),
 		HistoryDays:     history,
+		Detector:        detectorName,
+		Causality:       causalityName,
 		Obs:             col,
 	})
 	if err != nil {
@@ -137,6 +147,8 @@ func run(changes, history int, seed int64, verbose, asJSON bool, workers int, tr
 		ServerMetrics:        workload.ServerMetrics(),
 		InstanceMetrics:      workload.InstanceMetrics(),
 		HistoryDays:          history,
+		Detector:             detectorName,
+		Causality:            causalityName,
 		VerifyParallelTrends: trends,
 		Obs:                  col,
 	})

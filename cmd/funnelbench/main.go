@@ -48,6 +48,15 @@
 //
 //	funnelbench -run-stream-bench                  measure, write -stream-out
 //	funnelbench -run-stream-bench -bench-check F   measure and gate vs F
+//
+// A sixth mode maintains the detector bake-off table in EXPERIMENTS.md
+// (every registered detector scored on a pinned labelled corpus with
+// trend/long-range-dependence traps; see the "Detector bake-off"
+// section there for the methodology):
+//
+//	funnelbench -run-bakeoff                  regenerate and splice the table
+//	funnelbench -run-bakeoff -bakeoff-check   fail if the committed table
+//	                                          drifted (ns/op column ignored)
 package main
 
 import (
@@ -90,9 +99,21 @@ func main() {
 
 		runStream = flag.Bool("run-stream-bench", false, "run the streaming-assessment suite (p99 bin-to-verdict stream vs pull, attached-feed ingest overhead)")
 		streamOut = flag.String("stream-out", "BENCH_5.json", "output path for the streaming baseline JSON")
+
+		runBakeoffF  = flag.Bool("run-bakeoff", false, "regenerate the detector bake-off table and splice it into -bakeoff-doc")
+		bakeoffDoc   = flag.String("bakeoff-doc", "EXPERIMENTS.md", "document holding the bake-off markers")
+		bakeoffCheck = flag.Bool("bakeoff-check", false, "with -run-bakeoff: compare instead of write; exit 1 when the committed table drifted (ns/op column ignored)")
 	)
 	flag.Parse()
 	csvDir = *csvOut
+
+	if *runBakeoffF {
+		if err := runBakeoff(*bakeoffDoc, *bakeoffCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "funnelbench: bakeoff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *runIngest {
 		if err := runIngestSuite(*ingestMeas, *ingestOut, *benchCheck); err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/changelog"
 	"repro/internal/detect"
 	"repro/internal/did"
+	"repro/internal/edivisive"
 	"repro/internal/eval"
 	"repro/internal/funnel"
 	"repro/internal/monitor"
@@ -137,9 +138,33 @@ func ScoreSeries(s Scorer, x []float64) []float64 { return sst.ScoreSeries(s, x)
 // workers (0 = GOMAXPROCS); use it for history backfills.
 var ScoreSeriesParallel = sst.ScoreSeriesParallel
 
-// Detector applies a threshold plus the 7-minute persistence rule to a
-// scorer.
+// Detector is the pluggable change-detector contract: a pointwise
+// scorer that identifies itself for registry lookup. SST variants,
+// CUSUM, MRLS, WoW and E-divisive all implement it; see Detectors for
+// the roster and README's "Choosing a detector".
 type Detector = detect.Detector
+
+// DetectorEntry describes one registered detector (name, summary,
+// whether the pipeline pairs it with a causality stage, allocation
+// discipline, default constructor).
+type DetectorEntry = detect.Entry
+
+// Detectors returns the registered detector roster sorted by name.
+var Detectors = detect.Detectors
+
+// LookupDetector resolves a registry name like "cusum" or "edivisive".
+var LookupDetector = detect.LookupDetector
+
+// EDivisive is the E-divisive means energy-statistic detector with
+// permutation significance testing.
+type EDivisive = edivisive.EDivisive
+
+// NewEDivisive returns the CI-sized default E-divisive scorer.
+func NewEDivisive() *EDivisive { return edivisive.New() }
+
+// Gate applies a threshold plus the 7-minute persistence rule to a
+// scorer, turning pointwise scores into declared changes.
+type Gate = detect.Gate
 
 // Detection is one declared KPI change.
 type Detection = detect.Detection
@@ -158,9 +183,9 @@ const (
 
 // NewDetector pairs a scorer with a threshold under the default
 // persistence rule.
-func NewDetector(s Scorer, threshold float64) *Detector { return detect.New(s, threshold) }
+func NewDetector(s Scorer, threshold float64) *Gate { return detect.New(s, threshold) }
 
-// StreamDetector is the online form of Detector: push samples one bin
+// StreamDetector is the online form of Gate: push samples one bin
 // at a time and receive declarations the moment the persistence rule
 // fires.
 type StreamDetector = detect.Stream
@@ -168,8 +193,8 @@ type StreamDetector = detect.Stream
 // Declaration is an online detection event from a StreamDetector.
 type Declaration = detect.Declaration
 
-// NewStreamDetector wraps a detector for online use.
-func NewStreamDetector(d *Detector) *StreamDetector { return detect.NewStream(d) }
+// NewStreamDetector wraps a detection gate for online use.
+func NewStreamDetector(d *Gate) *StreamDetector { return detect.NewStream(d) }
 
 // Fleet manages one online stream detector per KPI key — the
 // million-KPI deployment shape of §2.3.

@@ -69,6 +69,9 @@ func (c *CUSUM) Config() sst.Config {
 	return sst.Config{Omega: 1, Delta: w, Gamma: 1, Eta: 1, K: 1}
 }
 
+// Name identifies the scorer in the detector registry.
+func (c *CUSUM) Name() string { return "cusum" }
+
 // ScoreAt returns the CUSUM score of x at index t using the window
 // x[t−W+1 .. t]. Scores are ≥ 0 and unbounded; the detection pipeline
 // picks the alarm threshold (see detect.Calibrate). The bootstrap RNG

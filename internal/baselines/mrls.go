@@ -115,6 +115,9 @@ func (m *MRLS) Config() sst.Config {
 	return sst.Config{Omega: 1, Delta: w, Gamma: 1, Eta: 1, K: 1}
 }
 
+// Name identifies the scorer in the detector registry.
+func (m *MRLS) Name() string { return "mrls" }
+
 // ScoreAt returns the MRLS score of x at index t using the window
 // x[t−W+1 .. t]. Scores are ≥ 0; the detection pipeline thresholds them
 // like any other scorer. It panics when the window does not fit.

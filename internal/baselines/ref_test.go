@@ -1,0 +1,73 @@
+package baselines
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateRef = flag.Bool("update", false, "rewrite the reference-score golden files under testdata/")
+
+// refGolden compares got against testdata/<name>, rewriting under
+// -update. The committed files were captured from the pre-refactor
+// scorers (before the detector-arena Detector interface landed), so the
+// refactored CUSUM/MRLS are pinned bit-for-bit to their original
+// arithmetic: regenerating them is only legitimate when the scoring
+// math itself intentionally changes.
+func refGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateRef {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/baselines -run Reference -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the pre-refactor reference scores.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// refDump renders scores as one exact float64 bit pattern per line, with
+// the rounded value alongside for human diffing.
+func refDump(scores []float64) []byte {
+	var buf bytes.Buffer
+	for _, v := range scores {
+		fmt.Fprintf(&buf, "%016x %.9g\n", math.Float64bits(v), v)
+	}
+	return buf.Bytes()
+}
+
+// TestCUSUMReferenceScores pins CUSUM to bit-identical scores across the
+// detector-arena refactor: same series, same positions, same bits.
+func TestCUSUMReferenceScores(t *testing.T) {
+	x := baselineSeries(240, 91)
+	c := &CUSUM{Window: 60, Bootstraps: 200, MinRelRange: 2}
+	var scores []float64
+	for tp := c.Window - 1; tp < len(x); tp += 3 {
+		scores = append(scores, c.ScoreAt(x, tp))
+	}
+	refGolden(t, "cusum_ref.golden", refDump(scores))
+}
+
+// TestMRLSReferenceScores pins MRLS to bit-identical scores across the
+// detector-arena refactor.
+func TestMRLSReferenceScores(t *testing.T) {
+	x := baselineSeries(240, 92)
+	m := NewMRLS()
+	var scores []float64
+	for tp := m.Window - 1; tp < len(x); tp += 5 {
+		scores = append(scores, m.ScoreAt(x, tp))
+	}
+	refGolden(t, "mrls_ref.golden", refDump(scores))
+}

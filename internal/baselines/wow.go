@@ -45,6 +45,9 @@ func (w *WoW) Config() sst.Config {
 	return sst.Config{Omega: 1, Delta: fb + win, Gamma: 1, Eta: 1, K: 1}
 }
 
+// Name identifies the scorer in the detector registry.
+func (w *WoW) Name() string { return "wow" }
+
 // win resolves the window length.
 func (w *WoW) win() int {
 	if w.Window < 4 {

@@ -1,0 +1,122 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/edivisive"
+	"repro/internal/sst"
+)
+
+// Detector is the pluggable contract every change detector in the
+// arena satisfies: a pointwise scorer (drivable by Gate, the
+// persistence rule, and the sweep helpers) that also identifies itself
+// for registry lookup and reporting. SST variants, the baselines and
+// E-divisive all implement it; implementations that additionally
+// satisfy sst.RangeScorer get the incremental sweep path for free.
+type Detector interface {
+	sst.Scorer
+	// Name returns the registry identifier, e.g. "sst" or "cusum".
+	Name() string
+}
+
+// Entry describes one registered detector for the arena: how to build
+// its default configuration, how it relates to the funnel pipeline, and
+// what its hot path costs.
+type Entry struct {
+	// Name is the registry identifier, accepted by funnel.Config.Detector
+	// and the -detector flag.
+	Name string
+	// Summary is a one-line description for docs and flag help.
+	Summary string
+	// CausalStage reports whether the funnel pipeline pairs this
+	// detector with a causality stage (DiD or Bayesian structural
+	// time-series) by default. Score-only baselines (false) stop at the
+	// persistence rule.
+	CausalStage bool
+	// ZeroAlloc reports whether the steady-state score path is
+	// allocation-free (pinned by AllocsPerRun gates in the owning
+	// package's tests).
+	ZeroAlloc bool
+	// New builds a default-configured instance.
+	New func() Detector
+}
+
+// registry is the static arena. Construction stays explicit — no init
+// side effects — so the dependency direction is detect → scorers and a
+// reader can see the full roster in one place.
+var registry = []Entry{
+	{
+		Name:        "sst",
+		Summary:     "IKA-accelerated robust SST, the scorer FUNNEL deploys (§3.2.3)",
+		CausalStage: true,
+		ZeroAlloc:   true,
+		New:         func() Detector { return sst.NewSliding(sst.NewIKA(sst.Config{})) },
+	},
+	{
+		Name:        "sst-classic",
+		Summary:     "original SVD-based SST (§3.2.1)",
+		CausalStage: true,
+		ZeroAlloc:   true,
+		New:         func() Detector { return sst.NewClassic(sst.Config{}) },
+	},
+	{
+		Name:        "sst-robust",
+		Summary:     "robustness-improved SST with exact decompositions (§3.2.2)",
+		CausalStage: true,
+		ZeroAlloc:   true,
+		New:         func() Detector { return sst.NewRobust(sst.Config{}) },
+	},
+	{
+		Name:        "cusum",
+		Summary:     "MERCURY-style bootstrap CUSUM baseline",
+		CausalStage: false,
+		ZeroAlloc:   false, // bootstrap RNG; bounded by an AllocsPerRun gate
+		New:         func() Detector { return baselines.NewCUSUM() },
+	},
+	{
+		Name:        "mrls",
+		Summary:     "PRISM-style multiscale robust local subspace baseline",
+		CausalStage: false,
+		ZeroAlloc:   true,
+		New:         func() Detector { return baselines.NewMRLS() },
+	},
+	{
+		Name:        "wow",
+		Summary:     "week-over-week differencing baseline (Chen et al. 2013)",
+		CausalStage: false,
+		ZeroAlloc:   false,
+		New:         func() Detector { return baselines.NewWoW() },
+	},
+	{
+		Name:        "edivisive",
+		Summary:     "E-divisive means energy-statistic detector with permutation significance (Hunter)",
+		CausalStage: false,
+		ZeroAlloc:   false, // pooled, but the permutation RNG allocates
+		New:         func() Detector { return edivisive.New() },
+	},
+}
+
+// Detectors returns the registered entries sorted by name.
+func Detectors() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupDetector resolves a registry name. It returns a descriptive
+// error listing the roster on an unknown name.
+func LookupDetector(name string) (Entry, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0, len(registry))
+	for _, e := range Detectors() {
+		names = append(names, e.Name)
+	}
+	return Entry{}, fmt.Errorf("detect: unknown detector %q (registered: %v)", name, names)
+}

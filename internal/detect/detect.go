@@ -87,9 +87,9 @@ type Detection struct {
 	Kind Kind
 }
 
-// Detector drives a scorer over a series and applies the persistence
+// Gate drives a scorer over a series and applies the persistence
 // rule.
-type Detector struct {
+type Gate struct {
 	// Scorer produces the pointwise change scores.
 	Scorer sst.Scorer
 	// Threshold is the score level above which a bin counts toward a
@@ -111,14 +111,14 @@ type Detector struct {
 	OnRun func(declared bool)
 }
 
-// New returns a Detector for the scorer with the given threshold, the
+// New returns a Gate for the scorer with the given threshold, the
 // paper's 7-bin persistence, and the default gap tolerance.
-func New(scorer sst.Scorer, threshold float64) *Detector {
-	return &Detector{Scorer: scorer, Threshold: threshold, Persistence: DefaultPersistence, MaxGap: 2}
+func New(scorer sst.Scorer, threshold float64) *Gate {
+	return &Gate{Scorer: scorer, Threshold: threshold, Persistence: DefaultPersistence, MaxGap: 2}
 }
 
 // persistence resolves the configured run length.
-func (d *Detector) persistence() int {
+func (d *Gate) persistence() int {
 	if d.Persistence <= 0 {
 		return DefaultPersistence
 	}
@@ -128,7 +128,7 @@ func (d *Detector) persistence() int {
 // Detect scans the whole series and returns every declared change, in
 // onset order. Runs shorter than the persistence requirement — the
 // one-off events of §4.1 — are discarded.
-func (d *Detector) Detect(x []float64) []Detection {
+func (d *Gate) Detect(x []float64) []Detection {
 	scores := sst.ScoreSeries(d.Scorer, x)
 	return d.DetectScored(x, scores)
 }
@@ -138,7 +138,7 @@ func (d *Detector) Detect(x []float64) []Detection {
 // scores (telemetry separating the scoring stage from the gating
 // stage, threshold sweeps re-gating one scoring pass) avoid re-running
 // the scorer.
-func (d *Detector) DetectScored(x, scores []float64) []Detection {
+func (d *Gate) DetectScored(x, scores []float64) []Detection {
 	return d.fromScores(x, scores)
 }
 
@@ -147,7 +147,7 @@ func (d *Detector) DetectScored(x, scores []float64) []Detection {
 // tolerates up to MaxGap consecutive sub-threshold bins; it is declared
 // once it holds Persistence above-threshold bins, at the bin of the
 // Persistence-th hit.
-func (d *Detector) fromScores(x, scores []float64) []Detection {
+func (d *Gate) fromScores(x, scores []float64) []Detection {
 	per := d.persistence()
 	gap := d.MaxGap
 	if gap < 0 {
@@ -251,7 +251,7 @@ func MaskScores(scores []float64, gap []bool, past, future int) []float64 {
 }
 
 // First returns the earliest detection in x, if any.
-func (d *Detector) First(x []float64) (Detection, bool) {
+func (d *Gate) First(x []float64) (Detection, bool) {
 	dets := d.Detect(x)
 	if len(dets) == 0 {
 		return Detection{}, false

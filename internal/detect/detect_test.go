@@ -34,7 +34,7 @@ func genRamp(n, at, dur int, mag, noise float64, rng *rand.Rand) []float64 {
 	return x
 }
 
-func ikaDetector() *Detector {
+func ikaDetector() *Gate {
 	return New(sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true}), 1.5)
 }
 
@@ -117,7 +117,7 @@ func TestSpikeRejectedByPersistence(t *testing.T) {
 
 func TestPersistenceBoundary(t *testing.T) {
 	// Synthetic scorer: scores crafted directly through fromScores.
-	d := &Detector{Threshold: 1, Persistence: 3}
+	d := &Gate{Threshold: 1, Persistence: 3}
 	x := make([]float64, 10)
 	scores := []float64{0, 2, 2, 0, 2, 2, 2, 0, 0, 0}
 	dets := d.fromScores(x, scores)
@@ -130,7 +130,7 @@ func TestPersistenceBoundary(t *testing.T) {
 }
 
 func TestRunAtSeriesEndIsFlushed(t *testing.T) {
-	d := &Detector{Threshold: 1, Persistence: 3}
+	d := &Gate{Threshold: 1, Persistence: 3}
 	x := make([]float64, 6)
 	scores := []float64{0, 0, 0, 2, 2, 2}
 	dets := d.fromScores(x, scores)
@@ -140,7 +140,7 @@ func TestRunAtSeriesEndIsFlushed(t *testing.T) {
 }
 
 func TestNaNScoresBreakRuns(t *testing.T) {
-	d := &Detector{Threshold: 1, Persistence: 2}
+	d := &Gate{Threshold: 1, Persistence: 2}
 	x := make([]float64, 6)
 	scores := []float64{2, 2, math.NaN(), 2, 2, 2}
 	dets := d.fromScores(x, scores)

@@ -18,7 +18,7 @@ import (
 type Fleet struct {
 	// newDetector builds the per-key detector (thresholds may differ by
 	// KPI class in production; the factory decides).
-	newDetector func(topo.KPIKey) *Detector
+	newDetector func(topo.KPIKey) *Gate
 
 	mu      sync.Mutex
 	streams map[topo.KPIKey]*fleetStream
@@ -39,9 +39,9 @@ type FleetDeclaration struct {
 // NewFleet builds a fleet whose per-key detectors come from the
 // factory. A nil factory uses the deployed defaults (IKA scorer,
 // threshold 1.6, 7-bin persistence).
-func NewFleet(factory func(topo.KPIKey) *Detector) *Fleet {
+func NewFleet(factory func(topo.KPIKey) *Gate) *Fleet {
 	if factory == nil {
-		factory = func(topo.KPIKey) *Detector {
+		factory = func(topo.KPIKey) *Gate {
 			d := New(sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true}), 1.6)
 			d.MaxGap = 5
 			return d

@@ -6,7 +6,7 @@ import (
 	"repro/internal/sst"
 )
 
-// Stream is the online form of Detector: feed KPI samples one bin at a
+// Stream is the online form of Gate: feed KPI samples one bin at a
 // time with Push and receive declarations the moment the persistence
 // rule fires — the deployment mode of §5, where measurements arrive
 // from the subscription push within a second of collection.
@@ -17,7 +17,7 @@ import (
 // score of bin t−FutureSpan+1, exactly the wall-clock availability
 // accounting of Detection.AvailableAt.
 type Stream struct {
-	det    *Detector
+	det    *Gate
 	cfg    sst.Config
 	window []float64
 	// absBase is the absolute bin index of window[0].
@@ -25,7 +25,7 @@ type Stream struct {
 	// n is the number of samples pushed so far.
 	n int
 
-	// run state mirrors Detector.fromScores.
+	// run state mirrors Gate.fromScores.
 	run      int
 	lastHit  int
 	hits     int
@@ -36,7 +36,7 @@ type Stream struct {
 }
 
 // NewStream wraps a detector for online use.
-func NewStream(det *Detector) *Stream {
+func NewStream(det *Gate) *Stream {
 	cfg := det.Scorer.Config()
 	return &Stream{
 		det:      det,

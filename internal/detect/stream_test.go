@@ -9,7 +9,7 @@ import (
 	"repro/internal/topo"
 )
 
-func streamDetector() *Detector {
+func streamDetector() *Gate {
 	d := New(sst.NewIKA(sst.Config{Normalize: true, RobustFilter: true}), 1.5)
 	d.MaxGap = 5
 	return d

@@ -1,0 +1,279 @@
+// Package edivisive implements the E-divisive means change-point
+// detector (Matteson & James; deployed for performance-regression
+// hunting by Hunter, Fleming et al.) in the pointwise-scorer shape the
+// detection pipeline drives: at each position the window is split into
+// a past and a future sample, the energy-distance divergence between
+// the two is computed, and its significance is established by a
+// permutation test on the pooled window.
+//
+// The divergence for samples X (n points) and Y (m points) with α = 1
+// is
+//
+//	Ê(X,Y) = 2/(nm)·ΣΣ|xᵢ−yⱼ| − C(n,2)⁻¹·Σᵢ<ₖ|xᵢ−xₖ| − C(m,2)⁻¹·Σⱼ<ₗ|yⱼ−yₗ|
+//	Q̂(X,Y) = nm/(n+m) · Ê(X,Y)
+//
+// Q̂ is degree 1 in the data scale (|xᵢ−yⱼ| is shift-invariant and
+// scales linearly), so the raw statistic is divided by a robust scale
+// estimate (MAD·1.4826 of the past sample) to make scores comparable
+// across KPIs — the same normalization idea as the paper's Eq. 11
+// robustness filter. Each pairwise sum is computed from a sorted copy
+// in O(W log W) via Σᵢ<ⱼ(z₍ⱼ₎−z₍ᵢ₎) = Σᵢ (2i−n+1)·z₍ᵢ₎, and the pooled
+// pairwise sum is permutation-invariant, so every permutation costs two
+// small sorts instead of O(W²) work.
+//
+// Scores are confidence-damped: below the MinQ pre-gate the permutation
+// test is skipped entirely (quiet windows — the common case on a clean
+// series — stay cheap) and the score is quadratically damped; above it,
+// the score is Q̂/scale weighted by the squared fraction of permutations
+// the observed statistic beats. The permutation RNG is seeded from the
+// window position, so scores are deterministic and independent of
+// evaluation order (see TestEDivisiveDeterministic).
+package edivisive
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/sst"
+	"repro/internal/stats"
+)
+
+// Defaults chosen so the detector runs on the CI corpus in CI time:
+// 30+30 bins of context matches CUSUM's 60-bin window, and 99
+// permutations resolve p-values to ~0.01.
+const (
+	// DefaultPastBins is the past-sample size n.
+	DefaultPastBins = 30
+	// DefaultFutureBins is the future-sample size m.
+	DefaultFutureBins = 30
+	// DefaultPermutations is the permutation-test sample count.
+	DefaultPermutations = 99
+	// DefaultMinQ is the scale-normalized Q̂ below which the permutation
+	// test is skipped (the score is damped instead). Under a Gaussian
+	// null the normalized statistic concentrates well below 1, so 2 robust
+	// standard deviations of divergence is a conservative quiet gate.
+	DefaultMinQ = 2.0
+)
+
+// EDivisive scores each position by the energy-distance divergence
+// between the PastBins bins ending at the position and the FutureBins
+// bins after it, significance-tested by permutation. It implements the
+// detect.Detector contract (sst.Scorer + Name) and the sst.RangeScorer
+// sweep interface; a single value is safe for concurrent use (state
+// lives in pooled workspaces).
+type EDivisive struct {
+	// PastBins is the past-sample size (0 = DefaultPastBins, min 8).
+	PastBins int
+	// FutureBins is the future-sample size (0 = DefaultFutureBins, min 8).
+	FutureBins int
+	// Permutations is the permutation count (0 = DefaultPermutations).
+	Permutations int
+	// MinQ is the pre-gate on the scale-normalized statistic
+	// (0 = DefaultMinQ).
+	MinQ float64
+
+	pool sync.Pool
+}
+
+// New returns an E-divisive scorer with the CI-sized defaults.
+func New() *EDivisive {
+	return &EDivisive{}
+}
+
+// edwork is the pooled per-evaluation scratch: the window copies, their
+// sorted views and the permutation shuffle buffer.
+type edwork struct {
+	comb   []float64 // pooled window, shuffled in place per permutation
+	sorted []float64 // sort scratch for pairwise sums and the MAD
+	scale  []float64 // MAD scratch
+}
+
+func (e *EDivisive) past() int {
+	if e.PastBins <= 0 {
+		return DefaultPastBins
+	}
+	if e.PastBins < 8 {
+		return 8
+	}
+	return e.PastBins
+}
+
+func (e *EDivisive) future() int {
+	if e.FutureBins <= 0 {
+		return DefaultFutureBins
+	}
+	if e.FutureBins < 8 {
+		return 8
+	}
+	return e.FutureBins
+}
+
+func (e *EDivisive) perms() int {
+	if e.Permutations <= 0 {
+		return DefaultPermutations
+	}
+	return e.Permutations
+}
+
+func (e *EDivisive) minQ() float64 {
+	if e.MinQ <= 0 {
+		return DefaultMinQ
+	}
+	return e.MinQ
+}
+
+// Config exposes the geometry through the shared sst.Config shape: the
+// past sample ends at the scored bin, the future sample is entirely
+// ahead of it, so scoring bin t needs the series through t+FutureBins.
+func (e *EDivisive) Config() sst.Config {
+	return sst.Config{Omega: 1, Delta: e.past(), Gamma: e.future() + 1, Eta: 1, K: 1}
+}
+
+// Name identifies the scorer in the detector registry.
+func (e *EDivisive) Name() string { return "edivisive" }
+
+// ScoreAt returns the E-divisive score of x at index t: the
+// scale-normalized energy divergence between x[t−P+1..t] and
+// x[t+1..t+F], confidence-damped by the permutation test. It panics
+// when the window does not fit.
+func (e *EDivisive) ScoreAt(x []float64, t int) float64 {
+	n, m := e.past(), e.future()
+	if t-n+1 < 0 || t+m >= len(x) {
+		panic("edivisive: window does not fit series")
+	}
+	ws, _ := e.pool.Get().(*edwork)
+	if ws == nil {
+		ws = &edwork{}
+	}
+	v := e.scoreAt(ws, x, t)
+	e.pool.Put(ws)
+	return v
+}
+
+// scoreAt evaluates one window with every buffer drawn from ws.
+func (e *EDivisive) scoreAt(ws *edwork, x []float64, t int) float64 {
+	n, m := e.past(), e.future()
+	w := n + m
+	ws.comb = grow(ws.comb, w)
+	ws.sorted = grow(ws.sorted, w)
+	ws.scale = grow(ws.scale, w)
+	copy(ws.comb[:n], x[t-n+1:t+1])
+	copy(ws.comb[n:], x[t+1:t+1+m])
+
+	// Robust scale of the past sample; fall back to the pooled window
+	// when the past is degenerate (a flat series still has a defined
+	// scale if the future moved).
+	_, mad := stats.MedianMADInto(ws.comb[:n], ws.scale)
+	scale := mad * stats.MADScale
+	if scale == 0 {
+		_, mad = stats.MedianMADInto(ws.comb, ws.scale)
+		scale = mad * stats.MADScale
+	}
+	if scale == 0 {
+		return 0 // constant window: no divergence to measure
+	}
+
+	// Observed statistic. The pooled pairwise sum is permutation-
+	// invariant, so it is computed once and reused by every permutation.
+	sxx := pairSum(ws.sorted, ws.comb[:n])
+	syy := pairSum(ws.sorted, ws.comb[n:])
+	stot := pairSum(ws.sorted, ws.comb)
+	q := qhat(sxx, syy, stot, n, m)
+	qn := q / scale
+
+	minQ := e.minQ()
+	if qn < minQ {
+		// Quiet window: skip the permutation test, damp quadratically so
+		// the score stays continuous and monotone in qn below the gate
+		// and meets the gate value at the boundary.
+		return qn * qn / minQ
+	}
+
+	// Permutation test on the pooled window, seeded from the position so
+	// scores are reproducible in any evaluation order (CUSUM's idiom).
+	perms := e.perms()
+	rng := rand.New(rand.NewSource(int64(t)*2654435761 + 99991))
+	beat := 0
+	for k := 0; k < perms; k++ {
+		shuffle(rng, ws.comb)
+		psxx := pairSum(ws.sorted, ws.comb[:n])
+		psyy := pairSum(ws.sorted, ws.comb[n:])
+		if qhat(psxx, psyy, stot, n, m) < q {
+			beat++
+		}
+	}
+	conf := float64(beat) / float64(perms)
+	return conf * conf * qn
+}
+
+// ScoreRangeInto scores every position in [lo, hi) whose analysis
+// window fits, writing out[t] and leaving other entries untouched. The
+// per-position cost is O(W log W) plus permutations only where the MinQ
+// pre-gate passes, which is what keeps whole-corpus sweeps inside CI
+// budgets.
+func (e *EDivisive) ScoreRangeInto(out, x []float64, lo, hi int) {
+	cfg := e.Config()
+	if min := cfg.PastSpan(); lo < min {
+		lo = min
+	}
+	if max := len(x) - cfg.FutureSpan() + 1; hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return
+	}
+	ws, _ := e.pool.Get().(*edwork)
+	if ws == nil {
+		ws = &edwork{}
+	}
+	for t := lo; t < hi; t++ {
+		out[t] = e.scoreAt(ws, x, t)
+	}
+	e.pool.Put(ws)
+}
+
+// grow returns buf with length n, reallocating only when capacity is
+// short.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// pairSum computes Σᵢ<ⱼ |zᵢ−zⱼ| by sorting a copy of z into scratch and
+// folding the order statistics: for sorted z, the sum telescopes to
+// Σᵢ (2i−n+1)·z₍ᵢ₎.
+func pairSum(scratch, z []float64) float64 {
+	s := scratch[:len(z)]
+	copy(s, z)
+	sort.Float64s(s)
+	n := len(s)
+	sum := 0.0
+	for i, v := range s {
+		sum += float64(2*i-n+1) * v
+	}
+	return sum
+}
+
+// qhat assembles Q̂ from the three pairwise sums.
+func qhat(sxx, syy, stot float64, n, m int) float64 {
+	sxy := stot - sxx - syy
+	fn, fm := float64(n), float64(m)
+	ehat := 2*sxy/(fn*fm) - sxx/(fn*(fn-1)/2) - syy/(fm*(fm-1)/2)
+	q := fn * fm / (fn + fm) * ehat
+	if q < 0 || math.IsNaN(q) {
+		return 0
+	}
+	return q
+}
+
+// shuffle is an in-place Fisher–Yates draw from rng.
+func shuffle(rng *rand.Rand, z []float64) {
+	for i := len(z) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		z[i], z[j] = z[j], z[i]
+	}
+}

@@ -1,0 +1,169 @@
+package edivisive_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/edivisive"
+	"repro/internal/sst"
+)
+
+// series returns Gaussian noise around a sinusoidal day shape with a
+// level shift of `shift` at bin `at` (0 = no change).
+func series(n int, seed int64, shift float64, at int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 50 + 2*math.Sin(2*math.Pi*float64(i)/480) + rng.NormFloat64()
+		if at > 0 && i >= at {
+			x[i] += shift
+		}
+	}
+	return x
+}
+
+// TestEDivisiveDeterministic pins the permutation sampling to the
+// position-derived seed: scores must be bit-identical across repeated
+// evaluations, evaluation orders, and fresh scorer instances.
+func TestEDivisiveDeterministic(t *testing.T) {
+	x := series(400, 7, 4, 200)
+	e := edivisive.New()
+	fwd := sst.ScoreSeries(e, x)
+	for i := 0; i < 2; i++ {
+		again := sst.ScoreSeries(edivisive.New(), x)
+		for j := range fwd {
+			fa, fb := fwd[j], again[j]
+			if math.IsNaN(fa) != math.IsNaN(fb) || (!math.IsNaN(fa) && fa != fb) {
+				t.Fatalf("run %d: score[%d] = %v, want %v (permutation sampling not deterministic)", i, j, fb, fa)
+			}
+		}
+	}
+	// Reverse evaluation order: per-position seeding means order must
+	// not matter.
+	cfg := e.Config()
+	for tp := len(x) - cfg.FutureSpan(); tp >= cfg.PastSpan(); tp-- {
+		if got := e.ScoreAt(x, tp); got != fwd[tp] {
+			t.Fatalf("reverse-order score[%d] = %v, want %v", tp, got, fwd[tp])
+		}
+	}
+}
+
+// TestEDivisiveRangeMatchesPointwise pins the sweep path to the
+// pointwise path bit for bit (both run the same scoreAt kernel).
+func TestEDivisiveRangeMatchesPointwise(t *testing.T) {
+	x := series(300, 11, 3, 150)
+	e := edivisive.New()
+	cfg := e.Config()
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	e.ScoreRangeInto(out, x, 0, len(x))
+	for tp := cfg.PastSpan(); tp+cfg.FutureSpan() <= len(x); tp++ {
+		if want := e.ScoreAt(x, tp); out[tp] != want {
+			t.Fatalf("range score[%d] = %v, pointwise %v", tp, out[tp], want)
+		}
+	}
+}
+
+// TestEDivisiveDetects checks the signal shape end to end: a clean
+// series stays under threshold, a 4σ level shift produces a persistent
+// detection near the change, and the detection pipeline drives the
+// scorer through the Gate contract unchanged.
+func TestEDivisiveDetects(t *testing.T) {
+	e := edivisive.New()
+	clean := series(600, 3, 0, 0)
+	maxClean := 0.0
+	for _, v := range sst.ScoreSeries(e, clean) {
+		if !math.IsNaN(v) && v > maxClean {
+			maxClean = v
+		}
+	}
+
+	shifted := series(600, 3, 4, 300)
+	g := detect.New(e, math.Max(2*maxClean, edivisive.DefaultMinQ))
+	dets := g.Detect(shifted)
+	if len(dets) == 0 {
+		t.Fatalf("no detection of a 4σ level shift (clean max score %.3f)", maxClean)
+	}
+	found := false
+	for _, d := range dets {
+		if d.Start >= 300-e.Config().FutureSpan() && d.Start <= 320 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("detections %+v miss the change at bin 300", dets)
+	}
+}
+
+// TestEDivisiveConcurrent exercises the pooled workspaces: concurrent
+// scoring must match sequential bit for bit.
+func TestEDivisiveConcurrent(t *testing.T) {
+	x := series(400, 13, 5, 200)
+	e := edivisive.New()
+	want := sst.ScoreSeries(e, x)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := e.Config()
+			for tp := cfg.PastSpan(); tp+cfg.FutureSpan() <= len(x); tp++ {
+				if got := e.ScoreAt(x, tp); got != want[tp] {
+					t.Errorf("concurrent score[%d] = %v, want %v", tp, got, want[tp])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEDivisiveQuietGate confirms the MinQ pre-gate earns its keep on
+// stationary noise: most windows score below the gate (those skipped
+// the permutation test entirely), keeping whole-corpus sweeps cheap,
+// while a large shift still scores far above the null tail.
+func TestEDivisiveQuietGate(t *testing.T) {
+	e := edivisive.New()
+	x := make([]float64, 2000)
+	rng := rand.New(rand.NewSource(17))
+	for i := range x {
+		x[i] = 50 + rng.NormFloat64()
+	}
+	scores := sst.ScoreSeries(e, x)
+	under, total, maxClean := 0, 0, 0.0
+	for _, v := range scores {
+		if math.IsNaN(v) {
+			continue
+		}
+		total++
+		if v < edivisive.DefaultMinQ {
+			under++
+		}
+		if v > maxClean {
+			maxClean = v
+		}
+	}
+	if frac := float64(under) / float64(total); frac < 0.6 {
+		t.Fatalf("only %.1f%% of stationary-noise scores below the quiet gate; the pre-gate no longer skips the common case", 100*frac)
+	}
+	// A 4σ shift must clear the entire null tail with margin ≥ 2×.
+	at := len(x) / 2
+	shifted := append([]float64(nil), x...)
+	for i := at; i < len(shifted); i++ {
+		shifted[i] += 4
+	}
+	peak := 0.0
+	for _, v := range sst.ScoreSeries(e, shifted) {
+		if !math.IsNaN(v) && v > peak {
+			peak = v
+		}
+	}
+	if peak < 2*maxClean {
+		t.Fatalf("4σ-shift peak score %.2f does not clear the null max %.2f with margin", peak, maxClean)
+	}
+}

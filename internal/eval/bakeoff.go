@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Markers delimiting the generated bake-off table inside EXPERIMENTS.md.
+// The harness rewrites everything between them in place; the prose
+// around them is hand-maintained.
+const (
+	BakeoffBegin = "<!-- bakeoff:begin -->"
+	BakeoffEnd   = "<!-- bakeoff:end -->"
+)
+
+// BakeoffRow is one detector's line in the bake-off table: the overall
+// weighted confusion metrics, the median detection latency over true
+// positives, and the per-window scoring cost. Everything except
+// PerWindow is deterministic given the corpus seed; drift checks mask
+// the timing column.
+type BakeoffRow struct {
+	// Detector is the registry name (see detect.Detectors).
+	Detector string
+	// Stage names the causality stage the row ran with: "did", "bsts",
+	// or "—" for score-only baselines that attribute every detection.
+	Stage string
+	// Overall is the merged confusion matrix across KPI types.
+	Overall Confusion
+	// MedianDelayBins is the median detection latency in bins over true
+	// positives (NaN when the row produced none).
+	MedianDelayBins float64
+	// PerWindow is the measured cost of scoring one window.
+	PerWindow time.Duration
+}
+
+// RenderBakeoff renders rows as a GitHub-flavoured markdown table, the
+// repo's Table-1 analogue for the detector arena. Row order is
+// preserved; callers sort.
+func RenderBakeoff(rows []BakeoffRow) string {
+	var b strings.Builder
+	b.WriteString("| Detector | Causality | Precision | Recall | TNR | Accuracy | Median delay (bins) | ns/op |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		delay := "—"
+		if r.MedianDelayBins == r.MedianDelayBins { // not NaN
+			delay = fmt.Sprintf("%.0f", r.MedianDelayBins)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %d |\n",
+			r.Detector, r.Stage,
+			pct(r.Overall.Precision()), pct(r.Overall.Recall()),
+			pct(r.Overall.TNR()), pct(r.Overall.Accuracy()),
+			delay, r.PerWindow.Nanoseconds())
+	}
+	return b.String()
+}
+
+// pct formats a ratio as a fixed-width percentage, with NaN rendered as
+// a dash so empty cells stay diffable.
+func pct(v float64) string {
+	if v != v {
+		return "—"
+	}
+	return fmt.Sprintf("%.2f%%", 100*v)
+}
+
+// SpliceBakeoff replaces the region between the bake-off markers in doc
+// with table, keeping the markers. It errors if either marker is
+// missing or out of order, so a mangled document fails loudly instead
+// of silently appending.
+func SpliceBakeoff(doc, table string) (string, error) {
+	lo := strings.Index(doc, BakeoffBegin)
+	hi := strings.Index(doc, BakeoffEnd)
+	if lo < 0 || hi < 0 || hi < lo {
+		return "", fmt.Errorf("eval: bake-off markers %q...%q not found in document", BakeoffBegin, BakeoffEnd)
+	}
+	return doc[:lo+len(BakeoffBegin)] + "\n" + table + doc[hi:], nil
+}
+
+// ExtractBakeoff returns the current content between the markers
+// (without them), for drift comparison.
+func ExtractBakeoff(doc string) (string, error) {
+	lo := strings.Index(doc, BakeoffBegin)
+	hi := strings.Index(doc, BakeoffEnd)
+	if lo < 0 || hi < 0 || hi < lo {
+		return "", fmt.Errorf("eval: bake-off markers %q...%q not found in document", BakeoffBegin, BakeoffEnd)
+	}
+	return doc[lo+len(BakeoffBegin) : hi], nil
+}
+
+// MaskBakeoffVolatile blanks the ns/op column (the last cell) of every
+// data row so drift checks compare only the deterministic cells:
+// timings vary run to run by design, accuracy numbers must not.
+func MaskBakeoffVolatile(table string) string {
+	lines := strings.Split(table, "\n")
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "|") || strings.HasPrefix(trimmed, "|---") {
+			continue
+		}
+		cells := strings.Split(trimmed, "|")
+		// "| a | b |" splits into ["", " a ", " b ", ""]: the last data
+		// cell is at len-2.
+		if len(cells) < 4 || strings.Contains(cells[1], "Detector") {
+			continue
+		}
+		cells[len(cells)-2] = " — "
+		lines[i] = strings.Join(cells, "|")
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"sort"
+
 	"repro/internal/detect"
 	"repro/internal/funnel"
 	"repro/internal/sst"
@@ -129,7 +131,15 @@ func CalibrateOnScenario(sc *workload.Scenario, scorer sst.Scorer, maxSeries int
 	}
 	var clean [][]float64
 	for _, cs := range sc.Cases {
+		// Sorted key order: the calibration corpus (first maxSeries
+		// matches) must not depend on map iteration, or the derived
+		// threshold — and every table built on it — loses determinism.
+		keys := make([]topo.KPIKey, 0, len(cs.Truth))
 		for key := range cs.Truth {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, key := range keys {
 			if len(allowed) > 0 && !allowed[key.Metric] {
 				continue
 			}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bsts"
 	"repro/internal/changelog"
 	"repro/internal/detect"
 	"repro/internal/did"
@@ -48,8 +49,27 @@ type ArrivalSource interface {
 type Config struct {
 	// SST configures the change scorer; zero value gives the paper's
 	// ω = 9, η = 3, k = 5 with normalization and the robustness filter
-	// enabled.
+	// enabled. It applies only when Detector selects an SST scorer.
 	SST sst.Config
+	// Detector selects the change-detection scorer by registry name
+	// (detect.LookupDetector): "" or "sst" is the deployed
+	// IKA-accelerated robust SST configured by the SST field; any other
+	// registered name ("sst-classic", "sst-robust", "cusum", "mrls",
+	// "wow", "edivisive") runs that detector's default configuration.
+	// DetectorThreshold's 1.6 default is tuned to normalized SST
+	// scores — other detectors score on different scales, so set a
+	// calibrated threshold (detect.Calibrate) when switching.
+	Detector string
+	// Causality selects the cause-determination stage applied to
+	// detected changes: "" or "did" is the classical
+	// Difference-in-Differences estimator (§3.2.4–3.2.5); "bsts" is the
+	// CausalImpact-style Bayesian structural time-series stage
+	// (internal/bsts), which fits a local-level-plus-trend state-space
+	// model with regression on the control on the pre period and scores
+	// the posterior predictive gap. Both consume the same
+	// treated/control windows and the same AlphaThreshold/MinTStat
+	// attribution rule.
+	Causality string
 	// DetectorThreshold is the change-score threshold (default 1.6).
 	// Calibrate with detect.Calibrate for production use.
 	DetectorThreshold float64
@@ -322,7 +342,7 @@ type Assessor struct {
 	win    WindowSource
 	topo   *topo.Topology
 	scorer sst.Scorer
-	det    *detect.Detector
+	det    *detect.Gate
 	obs    *obs.Collector
 	// scores, when non-nil, is consulted before the SST sweep with the
 	// exact raw segment about to be scored; a hit replaces the sweep
@@ -345,11 +365,17 @@ type scoreCache interface {
 }
 
 // NewAssessor builds an assessor. It returns an error when the SST
-// configuration is invalid.
+// configuration is invalid, or when Detector or Causality name an
+// unknown stage.
 func NewAssessor(source SeriesSource, tp *topo.Topology, cfg Config) (*Assessor, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.SST.Validate(); err != nil {
 		return nil, err
+	}
+	switch cfg.Causality {
+	case "", "did", "bsts":
+	default:
+		return nil, fmt.Errorf("funnel: unknown causality stage %q (want \"did\" or \"bsts\")", cfg.Causality)
 	}
 	// The deployed scorer is IKA; without per-window instrumentation it
 	// is wrapped in the incremental sliding sweep, which maintains the
@@ -360,14 +386,25 @@ func NewAssessor(source SeriesSource, tp *topo.Topology, cfg Config) (*Assessor,
 	// detector precision, which is all the threshold-crossing verdict
 	// reads. With a collector configured, the per-window path is kept so
 	// every window's latency lands in the StageSSTWindow histogram
-	// individually.
+	// individually. A non-SST Detector name swaps in that registered
+	// detector's default configuration instead (its own pooling applies;
+	// the sliding wrapper is an SST-specific optimization).
 	var scorer sst.Scorer
-	if cfg.Obs != nil {
-		scorer = InstrumentScorer(sst.NewIKA(cfg.SST), cfg.Obs)
-	} else {
-		sl := sst.NewSliding(sst.NewIKA(cfg.SST))
-		sl.WarmStart = true
-		scorer = sl
+	switch cfg.Detector {
+	case "", "sst":
+		if cfg.Obs != nil {
+			scorer = InstrumentScorer(sst.NewIKA(cfg.SST), cfg.Obs)
+		} else {
+			sl := sst.NewSliding(sst.NewIKA(cfg.SST))
+			sl.WarmStart = true
+			scorer = sl
+		}
+	default:
+		entry, err := detect.LookupDetector(cfg.Detector)
+		if err != nil {
+			return nil, err
+		}
+		scorer = InstrumentScorer(entry.New(), cfg.Obs)
 	}
 	det := detect.New(scorer, cfg.DetectorThreshold)
 	det.Persistence = cfg.Persistence
@@ -847,7 +884,7 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 
 		te := a.obs.Now()
 		np, nq, ncp, ncq := did.NormalizeGroups(tPre, tPost, cPre, cPost)
-		res, derr := did.Estimate(np, nq, ncp, ncq)
+		res, derr := a.estimate(np, nq, ncp, ncq)
 		if derr != nil {
 			a.stamp(kt, obs.StageDiDEstimate, te)
 			return determination{similarity: out.similarity}, derr
@@ -885,7 +922,7 @@ func (a *Assessor) determine(change changelog.Change, set *topo.ImpactSet, key t
 	te := a.obs.Now()
 	tPre, tPost := series.Around(changeBin, w)
 	np, nq, ncp, ncq := did.NormalizeGroups(tPre, tPost, cPre, cPost)
-	res, derr := did.Estimate(np, nq, ncp, ncq)
+	res, derr := a.estimate(np, nq, ncp, ncq)
 	if derr != nil {
 		a.stamp(kt, obs.StageDiDEstimate, te)
 		return determination{}, derr
@@ -908,6 +945,18 @@ func serviceOf(set *topo.ImpactSet, key topo.KPIKey) string {
 		return key.Entity
 	}
 	return set.ChangedService
+}
+
+// estimate dispatches the configured causality stage on the normalized
+// treated/control windows: classical DiD by default, the Bayesian
+// structural time-series stage under Config.Causality = "bsts". Both
+// return the shared did.Result shape, so the attribution rule below is
+// stage-agnostic.
+func (a *Assessor) estimate(tp, tq, cp, cq []float64) (did.Result, error) {
+	if a.cfg.Causality == "bsts" {
+		return bsts.Estimate(tp, tq, cp, cq)
+	}
+	return did.Estimate(tp, tq, cp, cq)
 }
 
 // causal applies the two-part attribution rule: the impact estimate

@@ -34,6 +34,9 @@ func NewClassic(cfg Config) *Classic {
 // Config returns the resolved configuration.
 func (c *Classic) Config() Config { return c.cfg }
 
+// Name identifies the scorer in the detector registry.
+func (c *Classic) Name() string { return "sst-classic" }
+
 // ScoreAt returns the classic SST change score of x at index t,
 // in [0, 1]. Every buffer — the trajectory matrices, both SVDs and the
 // η-direction readout — lives in the pooled workspace, so a

@@ -53,6 +53,9 @@ func NewIKA(cfg Config) *IKA {
 // Config returns the resolved configuration.
 func (s *IKA) Config() Config { return s.cfg }
 
+// Name identifies the scorer in the detector registry.
+func (s *IKA) Name() string { return "sst" }
+
 // ScoreAt returns the IKA change score of x at index t. It approximates
 // Robust.ScoreAt to within Krylov accuracy (tight for k = 2η−1 ≥ η+2 on
 // the effectively low-rank Hankel Gram matrices FUNNEL sees).

@@ -38,6 +38,9 @@ func NewRobust(cfg Config) *Robust {
 // Config returns the resolved configuration.
 func (r *Robust) Config() Config { return r.cfg }
 
+// Name identifies the scorer in the detector registry.
+func (r *Robust) Name() string { return "sst-robust" }
+
 // ScoreAt returns the robust SST change score of x at index t.
 // Without the robustness filter the score lies in [0, 1]; with it, the
 // score is additionally scaled by the local level/spread change. The

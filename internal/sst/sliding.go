@@ -85,6 +85,15 @@ func NewSliding(inner Scorer) *SlidingScorer {
 // Config returns the wrapped scorer's resolved configuration.
 func (s *SlidingScorer) Config() Config { return s.inner.Config() }
 
+// Name delegates to the wrapped scorer's registry name when it has one,
+// so a sliding wrapper is transparent to the detector arena.
+func (s *SlidingScorer) Name() string {
+	if n, ok := s.inner.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return "sliding"
+}
+
 // ScoreAt scores a single position by delegating to the wrapped scorer.
 func (s *SlidingScorer) ScoreAt(x []float64, t int) float64 {
 	return s.inner.ScoreAt(x, t)

@@ -169,6 +169,105 @@ func (c *noiseCache) sample(bin int, rng *rand.Rand) float64 {
 	return c.samples[bin]
 }
 
+// Trending overlays a deterministic linear drift on a base generator
+// from a start bin — the slow, non-software trend that tricks
+// change-point detectors into flagging a "shift" that is really the
+// window sliding along a slope. Unlike Effect ramps it never plateaus.
+type Trending struct {
+	Base Gen
+	// PerBin is the drift per bin in raw KPI units.
+	PerBin float64
+	// FromBin is the bin at which the drift starts.
+	FromBin int
+}
+
+// NewTrending wraps base with a linear drift of perBin raw units per
+// bin starting at fromBin.
+func NewTrending(base Gen, perBin float64, fromBin int) *Trending {
+	return &Trending{Base: base, PerBin: perBin, FromBin: fromBin}
+}
+
+// At returns the drifting value at bin.
+func (g *Trending) At(bin int) float64 {
+	v := g.Base.At(bin)
+	if bin > g.FromBin {
+		v += g.PerBin * float64(bin-g.FromBin)
+	}
+	return v
+}
+
+// Noise returns the base noise scale.
+func (g *Trending) Noise() float64 { return g.Base.Noise() }
+
+// LongRange is a long-range-dependent KPI: a level plus a sum of AR(1)
+// processes at well-separated timescales (φ = 0.9, 0.99, 0.999), the
+// standard cheap approximation of fractional Gaussian noise. Its slowly
+// wandering local mean defeats detectors that assume short-memory
+// stationarity — windows look locally shifted without any real change.
+type LongRange struct {
+	Level float64
+	// Scale is the stationary standard deviation of the fluctuating
+	// part (split evenly across the component processes).
+	Scale  float64
+	phis   []float64
+	innovs []float64
+	chains [][]float64
+	rng    *rand.Rand
+}
+
+// NewLongRange builds a long-range-dependent generator with the given
+// mean level and fluctuation scale, reproducible from seed.
+func NewLongRange(level, scale float64, seed int64) *LongRange {
+	phis := []float64{0.9, 0.99, 0.999}
+	innovs := make([]float64, len(phis))
+	per := scale / math.Sqrt(float64(len(phis)))
+	for i, phi := range phis {
+		innovs[i] = per * math.Sqrt(1-phi*phi)
+	}
+	return &LongRange{Level: level, Scale: scale, phis: phis, innovs: innovs,
+		chains: make([][]float64, len(phis)), rng: rand.New(rand.NewSource(seed))}
+}
+
+// At returns the long-range-dependent value at bin. Like noiseCache,
+// chain values are materialized in bin order and memoized so At is a
+// pure function of bin even under out-of-order or shared access.
+func (g *LongRange) At(bin int) float64 {
+	if bin < 0 {
+		return g.Level
+	}
+	for len(g.chains[0]) <= bin {
+		t := len(g.chains[0])
+		for k := range g.phis {
+			prev := 0.0
+			if t > 0 {
+				prev = g.chains[k][t-1]
+			}
+			g.chains[k] = append(g.chains[k], g.phis[k]*prev+g.innovs[k]*g.rng.NormFloat64())
+		}
+	}
+	v := g.Level
+	for k := range g.chains {
+		v += g.chains[k][bin]
+	}
+	return v
+}
+
+// Noise returns the fluctuation scale.
+func (g *LongRange) Noise() float64 { return g.Scale }
+
+// Overlay sums a zero-mean companion generator onto a base — the shape
+// trap overlays use so the companion's values are shared bit-for-bit by
+// every series it is attached to.
+type Overlay struct {
+	Base, Add Gen
+}
+
+// At returns the combined value at bin.
+func (o *Overlay) At(bin int) float64 { return o.Base.At(bin) + o.Add.At(bin) }
+
+// Noise returns the base noise scale.
+func (o *Overlay) Noise() float64 { return o.Base.Noise() }
+
 // Effect perturbs a base generator from a start bin: the level shifts
 // and ramp up/downs of Fig. 2.
 type Effect struct {

@@ -116,6 +116,15 @@ type Params struct {
 	// (NaN holes), modeling agent restarts and collection hiccups; the
 	// pipeline gap-fills before analysis. 0 disables.
 	GapFraction float64
+	// TrapFraction is the share of *no-effect* cases whose KPIs carry a
+	// common non-software trap — a slow linear trend or long-range-
+	// dependent drift hitting treated and control entities alike. These
+	// are the classic false-positive generators for change detectors
+	// that assume short-memory stationarity; the ground truth stays
+	// Changed=false, so every trap a method flags costs it precision.
+	// 0 disables and draws no extra randomness, keeping corpora
+	// generated before this knob existed bit-identical.
+	TrapFraction float64
 }
 
 // DefaultParams mirrors the paper's evaluation shape at reduced scale.
@@ -282,6 +291,44 @@ func (sc *Scenario) generateCase(p Params, rng *rand.Rand, idx int, withEffect b
 		}
 	}
 
+	// Trap overlay for no-effect cases: a slow common trend or a
+	// long-range-dependent drift, applied identically to treated and
+	// control entities of the changed service so the causality stage can
+	// (and must) cancel it. All randomness here is gated behind
+	// TrapFraction > 0 so default corpora remain bit-identical.
+	const trapNone, trapTrend, trapLRD = 0, 1, 2
+	trapKind := trapNone
+	trapPerBin := 0.0
+	trapAdd := map[string]*LongRange{}
+	if p.TrapFraction > 0 && !withEffect && rng.Float64() < p.TrapFraction {
+		if rng.Intn(2) == 0 {
+			trapKind = trapTrend
+			// 0.02–0.08 noise units per bin: invisible bin to bin,
+			// several σ across an assessment window.
+			trapPerBin = 0.02 + 0.06*rng.Float64()
+			if rng.Intn(2) == 0 {
+				trapPerBin = -trapPerBin
+			}
+		} else {
+			trapKind = trapLRD
+			for _, m := range append(append([]string{}, ServerMetrics()...), InstanceMetrics()...) {
+				scale := (2 + 2*rng.Float64()) * sc.baseFor(m, idx, 0, 0).Noise()
+				trapAdd[m] = NewLongRange(0, scale, rng.Int63())
+			}
+		}
+	}
+	applyTrap := func(gen Gen, metric string) Gen {
+		switch trapKind {
+		case trapTrend:
+			return NewTrending(gen, trapPerBin*gen.Noise(), changeBin-3*p.WindowBins)
+		case trapLRD:
+			// One shared overlay per metric: every entity of the case
+			// sees the same drift values, like a real common cause.
+			return &Overlay{Base: gen, Add: trapAdd[metric]}
+		}
+		return gen
+	}
+
 	// Effect geometry shared across this change's KPIs (one root cause,
 	// synchronized onset).
 	effectStart := changeBin + 1 + rng.Intn(5)
@@ -329,6 +376,7 @@ func (sc *Scenario) generateCase(p Params, rng *rand.Rand, idx int, withEffect b
 			gen := sc.baseFor(metric, idx, si, rng.Int63())
 			gen = contaminatedMaybe(gen, contaminate, sc.HistoryBins, rng)
 			gen = applyEffects(gen, treatedSrv, effectSNR[metric], effectStart, rampBins, confounderAt, confounderRaw[metric])
+			gen = applyTrap(gen, metric)
 			series := timeseries.New(sc.Start, sc.Step, Render(gen, total))
 			sc.Source.Put(key, series)
 			if treatedSrv {
@@ -346,6 +394,7 @@ func (sc *Scenario) generateCase(p Params, rng *rand.Rand, idx int, withEffect b
 			gen := sc.baseFor(metric, idx, si, rng.Int63())
 			gen = contaminatedMaybe(gen, contaminate, sc.HistoryBins, rng)
 			gen = applyEffects(gen, treatedInst, effectSNR[metric], effectStart, rampBins, confounderAt, confounderRaw[metric])
+			gen = applyTrap(gen, metric)
 			vals := Render(gen, total)
 			sc.Source.Put(key, timeseries.New(sc.Start, sc.Step, vals))
 			if treatedInst {

@@ -346,3 +346,118 @@ func TestGapFraction(t *testing.T) {
 		t.Fatal("absurd gap fraction should error")
 	}
 }
+
+func TestTrapGenerators(t *testing.T) {
+	// Trending: deterministic drift from FromBin, base untouched before.
+	base := NewStationary(10, 0, 1) // noiseless
+	tr := NewTrending(base, 0.5, 100)
+	if tr.At(100) != 10 || tr.At(102) != 11 || tr.At(200) != 60 {
+		t.Fatalf("trend shape wrong: %v %v %v", tr.At(100), tr.At(102), tr.At(200))
+	}
+	if tr.Noise() != base.Noise() {
+		t.Fatal("Trending must delegate Noise to its base")
+	}
+
+	// LongRange: bit-deterministic from seed, stable out of order, with a
+	// wandering local mean (adjacent 200-bin window means must disperse
+	// far more than white noise of the same scale would).
+	a := Render(NewLongRange(50, 2, 9), 4000)
+	b := Render(NewLongRange(50, 2, 9), 4000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("long-range generator not deterministic at %d", i)
+		}
+	}
+	g := NewLongRange(50, 2, 9)
+	v := g.At(300)
+	_ = g.At(5)
+	if g.At(300) != v {
+		t.Fatal("long-range cache not stable under out-of-order access")
+	}
+	if g.At(-1) != 50 {
+		t.Fatal("negative bins should return the level")
+	}
+	var meanSpread float64
+	for w := 0; w+200 <= len(a); w += 200 {
+		m := 0.0
+		for _, x := range a[w : w+200] {
+			m += x
+		}
+		m /= 200
+		meanSpread += (m - 50) * (m - 50)
+	}
+	meanSpread = math.Sqrt(meanSpread / 20)
+	// White noise at scale 2 would give window-mean SD ≈ 2/√200 ≈ 0.14.
+	if meanSpread < 0.5 {
+		t.Fatalf("long-range window means too stable (SD %.3f): no long memory", meanSpread)
+	}
+
+	// Overlay: sums, delegates noise.
+	ov := &Overlay{Base: base, Add: NewLongRange(0, 1, 3)}
+	if got, want := ov.At(7), base.At(7)+ov.Add.At(7); got != want {
+		t.Fatalf("overlay At = %v, want %v", got, want)
+	}
+}
+
+func TestTrapFractionGatedAndLabelled(t *testing.T) {
+	// TrapFraction = 0 must not change a corpus generated before the
+	// knob existed: same seed, same bytes.
+	p := DefaultParams()
+	p.Changes = 8
+	p.HistoryDays = 1
+	base, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range base.Source.Keys() {
+		s1, _ := base.Source.Series(key)
+		s2, _ := again.Source.Series(key)
+		for i := range s1.Values {
+			if s1.Values[i] != s2.Values[i] && !(math.IsNaN(s1.Values[i]) && math.IsNaN(s2.Values[i])) {
+				t.Fatalf("corpus not deterministic at %v bin %d", key, i)
+			}
+		}
+	}
+
+	// TrapFraction = 1: every no-effect case is trapped, the ground
+	// truth stays Changed=false, and the trap is common — treated and
+	// control series of the same case drift together.
+	p.TrapFraction = 1
+	trapped, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDrift := false
+	for ci, cs := range trapped.Cases {
+		if ci%2 == 0 {
+			continue // cases with injected effects are never trapped
+		}
+		for key, tr := range cs.Truth {
+			if tr.Changed {
+				t.Fatalf("trapped case %d key %v labelled Changed", ci, key)
+			}
+		}
+		// The trapped corpus must differ from the untrapped one on
+		// no-effect cases (the overlay did something).
+		for _, key := range trapped.Source.Keys() {
+			s1, _ := base.Source.Series(key)
+			s2, _ := trapped.Source.Series(key)
+			if s1 == nil {
+				continue
+			}
+			for i := range s2.Values {
+				if s2.Values[i] != s1.Values[i] && !math.IsNaN(s2.Values[i]) {
+					sawDrift = true
+					break
+				}
+			}
+		}
+	}
+	if !sawDrift {
+		t.Fatal("TrapFraction=1 generated a corpus identical to TrapFraction=0")
+	}
+}
